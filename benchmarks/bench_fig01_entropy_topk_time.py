@@ -1,0 +1,31 @@
+"""Fig1 — varying k: top-k on empirical entropy, query time.
+
+Regenerates the series of the paper's Fig1 (varying k: top-k on empirical entropy, query time).
+Wall-clock is the benchmark metric; ``extra_info`` carries the paper's
+companion metrics (cells scanned, sample fraction, accuracy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_config as cfg
+from repro.experiments.runner import run_entropy_top_k
+
+
+@pytest.mark.parametrize("dataset_key", cfg.DATASET_KEYS)
+@pytest.mark.parametrize("algorithm", cfg.ALGORITHMS)
+@pytest.mark.parametrize("x", cfg.TOPK_GRID)
+def test_fig01_entropy_topk_time(benchmark, dataset_key, algorithm, x):
+    store = cfg.dataset(dataset_key).store
+    truth = cfg.truth()
+    truth.entropies(store)  # warm the ground-truth cache outside the timer
+    outcome = benchmark.pedantic(
+        lambda: run_entropy_top_k(
+            store, algorithm, int(x), epsilon=0.1, truth=truth
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cfg.record(benchmark, outcome)
+    assert outcome.cells_scanned > 0

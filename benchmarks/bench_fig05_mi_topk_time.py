@@ -1,0 +1,32 @@
+"""Fig5 — varying k: top-k on empirical mutual information, query time.
+
+Regenerates the series of the paper's Fig5 (varying k: top-k on empirical mutual information, query time).
+Wall-clock is the benchmark metric; ``extra_info`` carries the paper's
+companion metrics (cells scanned, sample fraction, accuracy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_config as cfg
+from repro.experiments.runner import run_mi_top_k
+
+
+@pytest.mark.parametrize("dataset_key", cfg.DATASET_KEYS)
+@pytest.mark.parametrize("algorithm", cfg.ALGORITHMS)
+@pytest.mark.parametrize("x", cfg.TOPK_GRID)
+def test_fig05_mi_topk_time(benchmark, dataset_key, algorithm, x):
+    store = cfg.dataset(dataset_key).store
+    truth = cfg.truth()
+    target = cfg.targets(dataset_key)[0]
+    truth.mutual_informations(store, target)  # warm ground truth outside the timer
+    outcome = benchmark.pedantic(
+        lambda: run_mi_top_k(
+            store, algorithm, target, int(x), epsilon=0.5, truth=truth
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cfg.record(benchmark, outcome)
+    assert outcome.cells_scanned > 0

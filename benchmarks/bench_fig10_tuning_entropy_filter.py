@@ -1,0 +1,30 @@
+"""Fig10 — tuning epsilon: entropy filtering at eta = 2.
+
+Regenerates the series of the paper's Fig10 (tuning epsilon: entropy filtering at eta = 2).
+Wall-clock is the benchmark metric; ``extra_info`` carries the paper's
+companion metrics (cells scanned, sample fraction, accuracy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_config as cfg
+from repro.experiments.runner import run_entropy_filter
+
+
+@pytest.mark.parametrize("dataset_key", cfg.DATASET_KEYS)
+@pytest.mark.parametrize("epsilon", cfg.EPSILON_GRID)
+def test_fig10_tuning_entropy_filter(benchmark, dataset_key, epsilon):
+    store = cfg.dataset(dataset_key).store
+    truth = cfg.truth()
+    truth.entropies(store)  # warm the ground-truth cache outside the timer
+    outcome = benchmark.pedantic(
+        lambda: run_entropy_filter(
+            store, "swope", 2.0, epsilon=epsilon, truth=truth
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cfg.record(benchmark, outcome)
+    assert outcome.cells_scanned > 0

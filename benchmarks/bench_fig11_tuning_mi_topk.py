@@ -1,0 +1,31 @@
+"""Fig11 — tuning epsilon: MI top-k at k = 4.
+
+Regenerates the series of the paper's Fig11 (tuning epsilon: MI top-k at k = 4).
+Wall-clock is the benchmark metric; ``extra_info`` carries the paper's
+companion metrics (cells scanned, sample fraction, accuracy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import _bench_config as cfg
+from repro.experiments.runner import run_mi_top_k
+
+
+@pytest.mark.parametrize("dataset_key", cfg.DATASET_KEYS)
+@pytest.mark.parametrize("epsilon", cfg.EPSILON_GRID)
+def test_fig11_tuning_mi_topk(benchmark, dataset_key, epsilon):
+    store = cfg.dataset(dataset_key).store
+    truth = cfg.truth()
+    target = cfg.targets(dataset_key)[0]
+    truth.mutual_informations(store, target)  # warm ground truth outside the timer
+    outcome = benchmark.pedantic(
+        lambda: run_mi_top_k(
+            store, "swope", target, 4, epsilon=epsilon, truth=truth
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cfg.record(benchmark, outcome)
+    assert outcome.cells_scanned > 0

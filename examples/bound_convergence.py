@@ -1,0 +1,79 @@
+"""Watch the Lemma 3 bounds tighten and the stopping rule fire.
+
+Run with::
+
+    python examples/bound_convergence.py
+
+Traces a SWOPE entropy top-1 query iteration by iteration: for each
+sample size it prints the confidence interval of the leading attributes
+and whether the Algorithm 1 stopping rule fired — a direct view of the
+mechanism Section 3.1 of the paper describes. A second trace of the same
+query at a tighter ε shows how the loop keeps doubling until the
+intervals are narrow enough for the stronger guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import ColumnStore, QueryTrace, swope_top_k_entropy
+
+
+def build_store(num_rows: int) -> ColumnStore:
+    rng = np.random.default_rng(13)
+    return ColumnStore(
+        {
+            "leader": rng.integers(0, 200, num_rows),  # top entropy ~7.6
+            "runner_up": rng.integers(0, 150, num_rows),
+            "mid": rng.integers(0, 12, num_rows),
+            "low": (rng.random(num_rows) < 0.1).astype(np.int64),
+        }
+    )
+
+
+def show_trace(store: ColumnStore, epsilon: float) -> None:
+    trace = QueryTrace()
+    result = swope_top_k_entropy(store, 1, epsilon=epsilon, seed=0, trace=trace)
+    print(f"--- epsilon = {epsilon} ---")
+    for snapshot in trace.iterations:
+        leader_bounds = snapshot.bounds.get("leader")
+        runner_bounds = snapshot.bounds.get("runner_up")
+        parts = [f"M={snapshot.sample_size:>7,}"]
+        if leader_bounds:
+            parts.append(
+                f"leader=[{leader_bounds[0]:5.2f}, {leader_bounds[1]:5.2f}]"
+            )
+        if runner_bounds:
+            parts.append(
+                f"runner_up=[{runner_bounds[0]:5.2f}, {runner_bounds[1]:5.2f}]"
+            )
+        parts.append(f"alive={len(snapshot.candidates)}")
+        parts.append("STOP" if snapshot.stopped else "double")
+        print("  " + "  ".join(parts))
+    stats = result.stats
+    print(
+        f"  answer: {result.attributes}   sampled"
+        f" {stats.final_sample_size:,}/{stats.population_size:,} rows\n"
+    )
+
+
+def main() -> None:
+    num_rows = int(200_000 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1")))
+    store = build_store(max(5000, num_rows))
+    print(
+        f"entropy top-1 over {store.num_rows:,} rows; watch the interval of"
+        " each attribute narrow\nuntil the stopping rule"
+        " (width of the k-th upper bound <= epsilon fraction) fires:\n"
+    )
+    for epsilon in (0.5, 0.1, 0.02):
+        show_trace(store, epsilon)
+    print(
+        "smaller epsilon -> the loop needs narrower intervals -> more"
+        " doublings before STOP."
+    )
+
+
+if __name__ == "__main__":
+    main()

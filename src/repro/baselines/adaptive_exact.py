@@ -1,0 +1,179 @@
+"""Generic loops for the exact-answer adaptive baselines (KDD'19 [32]).
+
+EntropyRank and EntropyFilter (Wang & Ding, "Fast Approximation of
+Empirical Entropy via Subsampling", KDD 2019 — reference [32] of the
+reproduced paper) use the same sampling-without-replacement bounds as SWOPE
+but *exact* stopping rules:
+
+* **top-k**: stop once the k-th largest lower bound is no smaller than the
+  (k+1)-th largest upper bound — the answer is then provably the exact
+  top-k set;
+* **filtering**: retire an attribute only once its whole interval clears
+  the threshold (``lower > η`` include, ``upper < η`` exclude).
+
+Both rules force the sample to grow until data-dependent gaps (Δ between
+the k-th and (k+1)-th scores; δ between a score and η) are resolved, which
+is the inefficiency the reproduced paper removes. Sharing the providers and
+schedule with SWOPE makes the comparison isolate exactly that difference.
+
+The loops below take the same :class:`~repro.core.engine.ScoreProvider`
+objects as the SWOPE engine, so the MI variants come for free.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import (
+    Interval,
+    ScoreProvider,
+    validate_k,
+    validate_threshold,
+)
+from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+from repro.core.schedule import SampleSchedule
+from repro.data.sampling import PrefixSampler
+from repro.exceptions import ParameterError
+
+__all__ = ["exact_stopping_top_k", "exact_stopping_filter"]
+
+
+def _estimate(attribute: str, iv: Interval, sample_size: int) -> AttributeEstimate:
+    return AttributeEstimate(
+        attribute=attribute,
+        estimate=max(iv.lower, min(iv.upper, iv.midpoint)),
+        lower=iv.lower,
+        upper=iv.upper,
+        sample_size=sample_size,
+    )
+
+
+def exact_stopping_top_k(
+    provider: ScoreProvider,
+    sampler: PrefixSampler,
+    candidates: list[str],
+    k: int,
+    schedule: SampleSchedule,
+    *,
+    prune: bool = True,
+    target: str | None = None,
+) -> TopKResult:
+    """EntropyRank-style top-k: run until the exact answer is certain.
+
+    In each iteration the candidates are ranked by *lower* bound; the loop
+    stops when the k-th largest lower bound is at least the (k+1)-th
+    largest upper bound over the whole candidate set (then the k attributes
+    with the largest lower bounds are provably the exact top-k, up to
+    bound-failure probability). At ``M = N`` the bounds are exact and the
+    rule always fires.
+    """
+    k = validate_k(k)
+    if not candidates:
+        raise ParameterError("top-k query needs at least one candidate attribute")
+    k_effective = min(k, len(candidates))
+    started = time.perf_counter()
+    stats = RunStats()
+    live = list(candidates)
+    iterations = 0
+    answer: list[tuple[str, Interval]] = []
+    sample_size = schedule.sizes[0]
+    for index, sample_size in enumerate(schedule.sizes):
+        iterations += 1
+        intervals = {a: provider.interval(a, sample_size) for a in live}
+        by_lower = sorted(live, key=lambda a: intervals[a].lower, reverse=True)
+        answer = [(a, intervals[a]) for a in by_lower[:k_effective]]
+        kth_lower = answer[-1][1].lower
+        if len(live) <= k_effective:
+            break
+        uppers = sorted((intervals[a].upper for a in live), reverse=True)
+        next_upper = uppers[k_effective]
+        if kth_lower >= next_upper:
+            break
+        if index == len(schedule.sizes) - 1:
+            break  # M = N: bounds are exact, the ranking is the answer.
+        if prune:
+            survivors = [a for a in live if intervals[a].upper >= kth_lower]
+            for gone in set(live) - set(survivors):
+                stats.candidates_pruned += 1
+                sampler.release(gone)
+            live = survivors
+    stats.iterations = iterations
+    stats.final_sample_size = sample_size
+    stats.population_size = sampler.num_rows
+    stats.cells_scanned = sampler.cells_scanned
+    stats.wall_seconds = time.perf_counter() - started
+    return TopKResult(
+        attributes=[a for a, _ in answer],
+        estimates=[_estimate(a, iv, sample_size) for a, iv in answer],
+        stats=stats,
+        k=k,
+        target=target,
+    )
+
+
+def exact_stopping_filter(
+    provider: ScoreProvider,
+    sampler: PrefixSampler,
+    candidates: list[str],
+    threshold: float,
+    schedule: SampleSchedule,
+    *,
+    target: str | None = None,
+) -> FilterResult:
+    """EntropyFilter-style filtering: retire only on certain comparisons.
+
+    An attribute is included once ``lower > η``, excluded once
+    ``upper < η``. An attribute whose exact score equals ``η`` can never
+    satisfy either strict inequality, so at the final sample size
+    (``M = N``, exact bounds) remaining attributes are decided by
+    ``estimate >= η`` directly — matching the exact answer's closed
+    threshold.
+    """
+    threshold = validate_threshold(threshold)
+    if not candidates:
+        raise ParameterError("filtering query needs at least one candidate attribute")
+    started = time.perf_counter()
+    stats = RunStats()
+    undecided = list(candidates)
+    included: list[str] = []
+    estimates: dict[str, AttributeEstimate] = {}
+    iterations = 0
+    sample_size = schedule.sizes[0]
+    for index, sample_size in enumerate(schedule.sizes):
+        iterations += 1
+        final_round = index == len(schedule.sizes) - 1
+        still: list[str] = []
+        for attribute in undecided:
+            iv = provider.interval(attribute, sample_size)
+            decided = True
+            if iv.lower > threshold:
+                included.append(attribute)
+            elif iv.upper < threshold:
+                pass  # excluded
+            elif final_round:
+                # Exact bounds; close the threshold comparison (>= η).
+                if iv.estimate >= threshold:
+                    included.append(attribute)
+            else:
+                decided = False
+                still.append(attribute)
+            if decided:
+                estimates[attribute] = _estimate(attribute, iv, sample_size)
+                sampler.release(attribute)
+        undecided = still
+        if not undecided:
+            break
+    assert not undecided, "exact filtering ended with undecided attributes"
+    included.sort(key=lambda a: estimates[a].estimate, reverse=True)
+    stats.iterations = iterations
+    stats.final_sample_size = sample_size
+    stats.population_size = sampler.num_rows
+    stats.cells_scanned = sampler.cells_scanned
+    stats.wall_seconds = time.perf_counter() - started
+    return FilterResult(
+        attributes=included,
+        estimates=estimates,
+        stats=stats,
+        threshold=threshold,
+        target=target,
+    )

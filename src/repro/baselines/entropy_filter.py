@@ -1,0 +1,56 @@
+"""EntropyFilter: the exact-answer filtering baseline of Wang & Ding (KDD'19).
+
+Same bounds as SWOPE-Filtering, but an attribute is only retired once its
+whole confidence interval clears the threshold — so attributes whose score
+sits close to ``η`` keep the loop sampling until the data-dependent gap
+``δ = |H(α) - η|`` is resolved (expected cost ``O(h log(hN) log²N / δ²)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.adaptive_exact import exact_stopping_filter
+from repro.core.engine import EntropyScoreProvider, default_failure_probability
+from repro.core.results import FilterResult
+from repro.core.schedule import SampleSchedule
+from repro.data.column_store import ColumnStore
+from repro.data.sampling import PrefixSampler
+from repro.exceptions import SchemaError
+
+__all__ = ["entropy_filter"]
+
+
+def entropy_filter(
+    store: ColumnStore,
+    threshold: float,
+    *,
+    failure_probability: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    attributes: list[str] | None = None,
+    schedule: SampleSchedule | None = None,
+    sampler: PrefixSampler | None = None,
+) -> FilterResult:
+    """Answer an *exact* entropy filtering query by adaptive sampling.
+
+    Parameters mirror :func:`repro.core.filtering.swope_filter_entropy`,
+    minus ``epsilon``.
+    """
+    names = list(attributes) if attributes is not None else list(store.attributes)
+    unknown = [a for a in names if a not in store]
+    if unknown:
+        raise SchemaError(f"unknown attributes: {unknown}")
+    if failure_probability is None:
+        failure_probability = default_failure_probability(store.num_rows)
+    if sampler is None:
+        sampler = PrefixSampler(store, seed=seed)
+    if schedule is None:
+        schedule = SampleSchedule.for_query(
+            store.num_rows,
+            len(names),
+            failure_probability,
+            max(store.support_size(a) for a in names),
+        )
+    per_bound = schedule.per_round_failure(failure_probability, len(names))
+    provider = EntropyScoreProvider(sampler, per_bound)
+    return exact_stopping_filter(provider, sampler, names, threshold, schedule)

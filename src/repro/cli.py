@@ -1,0 +1,300 @@
+"""Command-line interface: run paper experiments from a shell.
+
+Installed as the ``repro`` console script (also runnable as
+``python -m repro``). Subcommands:
+
+* ``repro list`` — show the available figures and datasets;
+* ``repro table2`` — print the Table 2 analogue;
+* ``repro figure fig1 [--datasets cdc,pus] [--scale 0.2] [--targets 2]``
+  — run one paper figure and print its series;
+* ``repro query topk-entropy --dataset cdc -k 4`` — run a single query
+  and print the answer with run statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.applications.feature_selection import (
+    cmim_select,
+    mrmr_select,
+    top_relevance_select,
+)
+from repro.core import (
+    swope_filter_entropy,
+    swope_filter_mutual_information,
+    swope_top_k_entropy,
+    swope_top_k_mutual_information,
+)
+from repro.data.describe import describe_store
+from repro.experiments.figures import FIGURES, run_figure, run_table2
+from repro.experiments.latex import figure_latex
+from repro.experiments.persistence import load_figure_run, save_figure_run
+from repro.experiments.plotting import save_figure_svg
+from repro.experiments.regression import compare_runs
+from repro.experiments.report import render_figure, render_table2
+from repro.exceptions import ReproError
+from repro.synth.datasets import DATASETS, load_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Efficient Approximate Algorithms for Empirical"
+            " Entropy and Mutual Information' (SIGMOD 2021)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available figures and datasets")
+
+    table2 = sub.add_parser("table2", help="print the Table 2 analogue")
+    table2.add_argument("--scale", type=float, default=1.0)
+
+    figure = sub.add_parser("figure", help="run one paper figure")
+    figure.add_argument("figure_id", choices=sorted(FIGURES))
+    figure.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated dataset keys (default: all four)",
+    )
+    figure.add_argument("--scale", type=float, default=1.0)
+    figure.add_argument(
+        "--targets", type=int, default=2, help="MI targets to average over"
+    )
+    figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument(
+        "--target-mode", choices=["engineered", "random"], default="engineered",
+        help="MI target selection (paper: random; analogues: engineered)",
+    )
+    figure.add_argument(
+        "--svg", default=None, help="also render the series to an SVG file"
+    )
+    figure.add_argument(
+        "--svg-metric",
+        default="seconds",
+        choices=["seconds", "cells_scanned", "accuracy"],
+    )
+    figure.add_argument(
+        "--save", default=None, help="also save the raw run as JSON"
+    )
+    figure.add_argument(
+        "--latex", default=None, help="also render the series as LaTeX tables"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="diff a new figure run against a saved reference"
+    )
+    compare.add_argument("reference", help="reference run JSON (repro figure --save)")
+    compare.add_argument("candidate", help="candidate run JSON")
+    compare.add_argument("--cells-tolerance", type=float, default=0.25)
+    compare.add_argument("--accuracy-tolerance", type=float, default=0.02)
+
+    query = sub.add_parser("query", help="run a single SWOPE query")
+    query.add_argument(
+        "kind",
+        choices=["topk-entropy", "filter-entropy", "topk-mi", "filter-mi"],
+    )
+    query.add_argument("--dataset", choices=sorted(DATASETS), default="cdc")
+    query.add_argument("--scale", type=float, default=1.0)
+    query.add_argument("-k", type=int, default=4)
+    query.add_argument("--eta", type=float, default=2.0)
+    query.add_argument("--epsilon", type=float, default=None)
+    query.add_argument("--target", default=None, help="MI target attribute")
+    query.add_argument("--seed", type=int, default=0)
+
+    select = sub.add_parser(
+        "select", help="run a feature-selection application"
+    )
+    select.add_argument(
+        "method", choices=["relevance", "mrmr", "cmim"],
+        help="selection criterion",
+    )
+    select.add_argument("--dataset", choices=sorted(DATASETS), default="cdc")
+    select.add_argument("--scale", type=float, default=0.2)
+    select.add_argument("-k", type=int, default=5)
+    select.add_argument("--label", default=None, help="label attribute")
+    select.add_argument(
+        "--engine", choices=["swope", "exact"], default="swope"
+    )
+    select.add_argument("--seed", type=int, default=0)
+
+    describe = sub.add_parser(
+        "describe", help="per-attribute profile of a dataset"
+    )
+    describe.add_argument("--dataset", choices=sorted(DATASETS), default="cdc")
+    describe.add_argument("--scale", type=float, default=0.1)
+    describe.add_argument("--top", type=int, default=20, help="rows to show")
+    describe.add_argument("--sort", choices=["entropy", "name"], default="entropy")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("figures:")
+    for figure_id in sorted(FIGURES, key=lambda f: int(f[3:])):
+        print(f"  {figure_id:6s} {FIGURES[figure_id].title}")
+    print("datasets:")
+    for key, plan in sorted(DATASETS.items()):
+        print(
+            f"  {key:5s} {plan.num_rows:>9,} rows x {plan.num_columns} columns"
+            f"  (paper: {plan.paper_rows:,} x {plan.paper_columns})"
+        )
+    return 0
+
+
+def _cmd_table2(scale: float) -> int:
+    print(render_table2(run_table2(scale=scale)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    datasets = args.datasets.split(",") if args.datasets else None
+    run = run_figure(
+        args.figure_id,
+        datasets=datasets,
+        scale=args.scale,
+        num_targets=args.targets,
+        seed=args.seed,
+        target_mode=args.target_mode,
+    )
+    print(render_figure(run))
+    if args.svg:
+        save_figure_svg(run, args.svg, metric=args.svg_metric)
+        print(f"wrote {args.svg}")
+    if args.save:
+        save_figure_run(run, args.save)
+        print(f"wrote {args.save}")
+    if args.latex:
+        from pathlib import Path
+
+        Path(args.latex).write_text(figure_latex(run, metric=args.svg_metric))
+        print(f"wrote {args.latex}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    reference = load_figure_run(args.reference)
+    candidate = load_figure_run(args.candidate)
+    comparison = compare_runs(
+        reference,
+        candidate,
+        cells_tolerance=args.cells_tolerance,
+        accuracy_tolerance=args.accuracy_tolerance,
+    )
+    print(comparison.summary())
+    return 0 if comparison.ok else 1
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    store = dataset.store
+    target = args.target or dataset.mi_targets[0]
+    if args.kind == "topk-entropy":
+        result = swope_top_k_entropy(
+            store, args.k, epsilon=args.epsilon or 0.1, seed=args.seed
+        )
+    elif args.kind == "filter-entropy":
+        result = swope_filter_entropy(
+            store, args.eta, epsilon=args.epsilon or 0.05, seed=args.seed
+        )
+    elif args.kind == "topk-mi":
+        result = swope_top_k_mutual_information(
+            store, target, args.k, epsilon=args.epsilon or 0.5, seed=args.seed
+        )
+    else:
+        result = swope_filter_mutual_information(
+            store, target, args.eta, epsilon=args.epsilon or 0.5, seed=args.seed
+        )
+    stats = result.stats
+    print(f"answer ({len(result.attributes)} attributes):")
+    if isinstance(result.estimates, dict):
+        estimates = [result.estimates[a] for a in result.attributes]
+    else:
+        estimates = result.estimates
+    for est in estimates:
+        print(
+            f"  {est.attribute:20s} estimate={est.estimate:8.4f}"
+            f"  bounds=[{est.lower:.4f}, {est.upper:.4f}]"
+        )
+    print(
+        f"stats: M={stats.final_sample_size:,}/{stats.population_size:,}"
+        f" ({stats.sample_fraction:.1%}), {stats.iterations} iterations,"
+        f" {stats.cells_scanned:,} cells, {stats.wall_seconds:.3f}s"
+    )
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    store = dataset.store
+    label = args.label or dataset.mi_targets[0]
+    selector = {
+        "relevance": top_relevance_select,
+        "mrmr": mrmr_select,
+        "cmim": cmim_select,
+    }[args.method]
+    result = selector(store, label, args.k, engine=args.engine, seed=args.seed)
+    print(
+        f"{args.method} selected {len(result.features)} features for label"
+        f" {label!r} (engine: {result.engine}):"
+    )
+    for name in result.features:
+        print(f"  {name:20s} relevance~{result.scores[name]:.4f}")
+    print(f"cost: {result.cells_scanned:,} cells scanned")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    profiles = describe_store(dataset.store, sort_by=args.sort)
+    print(
+        f"{args.dataset}: {dataset.store.num_rows:,} rows x"
+        f" {dataset.store.num_attributes} attributes"
+        f" (showing {min(args.top, len(profiles))})"
+    )
+    print(
+        f"{'attribute':22s} {'support':>7s} {'seen':>6s} {'entropy':>8s}"
+        f" {'norm':>5s} {'top%':>6s}"
+    )
+    for profile in profiles[: args.top]:
+        print(
+            f"{profile.attribute:22s} {profile.support_size:7d}"
+            f" {profile.observed_values:6d} {profile.entropy:8.3f}"
+            f" {profile.normalized_entropy:5.2f} {profile.top_share:6.1%}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "table2":
+            return _cmd_table2(args.scale)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "select":
+            return _cmd_select(args)
+        if args.command == "describe":
+            return _cmd_describe(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

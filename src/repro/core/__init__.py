@@ -1,0 +1,83 @@
+"""Core SWOPE algorithms: bounds, schedule, and the four query functions.
+
+The primary contribution of the paper lives here:
+
+* :mod:`repro.core.bounds` — Lemmas 1–4 (bias bound, permutation
+  concentration, confidence intervals, sample-size law);
+* :mod:`repro.core.schedule` — ``M0``, doubling schedule, failure budgets;
+* :mod:`repro.core.engine` — the shared adaptive loop and score providers;
+* :func:`~repro.core.topk.swope_top_k_entropy` — Algorithm 1;
+* :func:`~repro.core.filtering.swope_filter_entropy` — Algorithm 2;
+* :func:`~repro.core.mi_topk.swope_top_k_mutual_information` — Algorithm 3;
+* :func:`~repro.core.mi_filtering.swope_filter_mutual_information` —
+  Algorithm 4.
+"""
+
+from repro.core.bounds import (
+    ConfidenceInterval,
+    MutualInformationInterval,
+    beta_sensitivity,
+    bias_bound,
+    entropy_interval,
+    joint_entropy_interval,
+    mutual_information_interval,
+    permutation_half_width,
+    sample_size_for_width,
+)
+from repro.core.engine import (
+    EntropyScoreProvider,
+    IterationTrace,
+    MutualInformationScoreProvider,
+    QueryTrace,
+    default_failure_probability,
+)
+from repro.core.estimators import (
+    entropy_from_counts,
+    entropy_from_probabilities,
+    jackknife_entropy,
+    joint_entropy_from_counter,
+    miller_madow_entropy,
+    mutual_information_from_counts,
+)
+from repro.core.filtering import swope_filter_entropy
+from repro.core.mi_filtering import swope_filter_mutual_information
+from repro.core.mi_topk import swope_top_k_mutual_information
+from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+from repro.core.schedule import SampleSchedule, initial_sample_size, max_iterations
+from repro.core.session import QuerySession
+from repro.core.topk import swope_top_k_entropy
+
+__all__ = [
+    "AttributeEstimate",
+    "ConfidenceInterval",
+    "EntropyScoreProvider",
+    "FilterResult",
+    "IterationTrace",
+    "MutualInformationInterval",
+    "QuerySession",
+    "QueryTrace",
+    "MutualInformationScoreProvider",
+    "RunStats",
+    "SampleSchedule",
+    "TopKResult",
+    "beta_sensitivity",
+    "bias_bound",
+    "default_failure_probability",
+    "entropy_from_counts",
+    "entropy_from_probabilities",
+    "entropy_interval",
+    "initial_sample_size",
+    "jackknife_entropy",
+    "joint_entropy_from_counter",
+    "joint_entropy_interval",
+    "max_iterations",
+    "miller_madow_entropy",
+    "mutual_information_from_counts",
+    "mutual_information_interval",
+    "permutation_half_width",
+    "sample_size_for_width",
+    "swope_filter_entropy",
+    "swope_filter_mutual_information",
+    "swope_top_k_entropy",
+    "swope_top_k_mutual_information",
+]

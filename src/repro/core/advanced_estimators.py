@@ -1,0 +1,145 @@
+"""Bias-reduced entropy estimators beyond the paper's plug-in + bound.
+
+The reproduced paper handles plug-in bias with the explicit Lemma 1
+allowance ``b(α)``; the wider literature it cites (Paninski [25], Valiant
+& Valiant [30], Jiao et al. [17, 18], Wu & Yang [38]) instead *corrects*
+the estimator. This module provides the standard practical correctors so
+downstream users can cross-check SWOPE's interval estimates:
+
+* :func:`good_turing_coverage` — the Good–Turing estimate of the sample
+  coverage (probability mass of seen values);
+* :func:`chao_shen_entropy` — coverage-adjusted Horvitz–Thompson
+  estimator (Chao & Shen 2003), strong under severe undersampling;
+* :func:`grassberger_entropy` — Grassberger's (2003) digamma-based
+  correction, excellent when most values are observed a few times;
+* :func:`digamma` — a dependency-free ψ implementation (recurrence +
+  asymptotic series) used by the Grassberger estimator.
+
+None of these carry the paper's finite-population confidence bounds —
+they are point estimators for i.i.d. samples — which is why the SWOPE
+algorithms do not use them; see ``DESIGN.md``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "chao_shen_entropy",
+    "digamma",
+    "good_turing_coverage",
+    "grassberger_entropy",
+]
+
+#: Euler–Mascheroni constant (ψ(1) = -γ).
+_EULER_GAMMA = 0.5772156649015329
+
+
+def digamma(x: float) -> float:
+    """The digamma function ψ(x) for real x > 0.
+
+    Uses the recurrence ψ(x) = ψ(x + 1) − 1/x to push the argument above
+    6, then the standard asymptotic series. Accurate to ~1e-12 over the
+    positive reals, which is far below the statistical error of any
+    entropy estimate this module feeds.
+    """
+    if x <= 0.0:
+        raise ParameterError(f"digamma requires x > 0, got {x}")
+    result = 0.0
+    while x < 12.0:
+        result -= 1.0 / x
+        x += 1.0
+    inv = 1.0 / x
+    inv2 = inv * inv
+    # psi(x) ~ ln x - 1/(2x) - 1/(12x^2) + 1/(120x^4) - 1/(252x^6)
+    #          + 1/(240x^8)  (next term ~ 1/(132 x^10): < 1e-13 at x >= 12)
+    result += (
+        math.log(x)
+        - 0.5 * inv
+        - inv2
+        * (
+            1.0 / 12.0
+            - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 / 240.0))
+        )
+    )
+    return result
+
+
+def _validated(counts: np.ndarray) -> np.ndarray:
+    arr = np.asarray(counts)
+    if arr.ndim != 1:
+        raise ParameterError(f"counts must be 1-D, got shape {arr.shape}")
+    if arr.size and int(arr.min()) < 0:
+        raise ParameterError("counts must be non-negative")
+    return arr[arr > 0].astype(np.float64)
+
+
+def good_turing_coverage(counts: np.ndarray) -> float:
+    """Good–Turing sample coverage ``C = 1 − f₁/M``.
+
+    ``f₁`` is the number of values seen exactly once. ``C`` estimates the
+    total probability of the values that have been observed at least
+    once; ``1 − C`` is the unseen mass. Returns 1.0 for an empty sample
+    (vacuously complete coverage).
+    """
+    positive = _validated(counts)
+    total = positive.sum()
+    if total == 0:
+        return 1.0
+    singletons = float((positive == 1.0).sum())
+    coverage = 1.0 - singletons / total
+    # With every value a singleton the raw formula gives 0, which breaks
+    # the Horvitz-Thompson weights; the customary floor is 1/M.
+    return max(coverage, 1.0 / total)
+
+
+def chao_shen_entropy(counts: np.ndarray) -> float:
+    """Chao–Shen coverage-adjusted entropy estimate (bits).
+
+    Deflates the plug-in probabilities by the Good–Turing coverage
+    (``p̃ = C·p̂``) and reweights each term by the probability the value
+    was observed at all (Horvitz–Thompson):
+
+    ``Ĥ = − Σ p̃ log2(p̃) / (1 − (1 − p̃)^M)``
+
+    Markedly less biased than plug-in when many values are unseen.
+    """
+    positive = _validated(counts)
+    total = positive.sum()
+    if total == 0:
+        return 0.0
+    coverage = good_turing_coverage(positive)
+    adjusted = coverage * positive / total
+    inclusion = 1.0 - np.power(1.0 - adjusted, total)
+    estimate = float(-(adjusted * np.log2(adjusted) / inclusion).sum())
+    return max(0.0, estimate)
+
+
+def grassberger_entropy(counts: np.ndarray) -> float:
+    """Grassberger's (2003) entropy estimate (bits).
+
+    ``Ĥ = log2(M) − (1/M) Σ n_i · G(n_i) / ln 2`` with
+    ``G(n) = ψ(n) + ½(−1)ⁿ (ψ((n+1)/2) − ψ(n/2))``.
+
+    The correction term vanishes for large counts (G(n) → ln n), so the
+    estimate converges to plug-in on well-sampled data while removing
+    most of the small-count bias.
+    """
+    positive = _validated(counts)
+    total = positive.sum()
+    if total == 0:
+        return 0.0
+    ln2 = math.log(2.0)
+    acc = 0.0
+    for n in positive:
+        n_int = float(n)
+        g = digamma(n_int)
+        parity = 1.0 if int(n_int) % 2 == 0 else -1.0
+        g += 0.5 * parity * (digamma((n_int + 1.0) / 2.0) - digamma(n_int / 2.0))
+        acc += n_int * g
+    estimate = math.log2(total) - acc / (total * ln2)
+    return max(0.0, estimate)

@@ -1,0 +1,496 @@
+"""Shared adaptive-sampling engine behind all four SWOPE algorithms.
+
+Algorithms 1–4 of the paper differ only in (a) which score they bound —
+entropy or mutual information — and (b) which stopping rule they apply —
+top-k or filtering. This module factors the common structure:
+
+* **Score providers** (:class:`EntropyScoreProvider`,
+  :class:`MutualInformationScoreProvider`) turn an attribute name and a
+  sample size into a confidence interval, hiding whether one bound (entropy)
+  or three bounds (MI: target, candidate, joint) were consumed.
+* **Generic loops** (:func:`adaptive_top_k`, :func:`adaptive_filter`)
+  implement the doubling iteration, the stopping rules, and the candidate
+  pruning exactly as in the paper's pseudo-code, over any provider.
+
+The entropy/MI-specific public entry points in :mod:`repro.core.topk`,
+:mod:`repro.core.filtering`, :mod:`repro.core.mi_topk`, and
+:mod:`repro.core.mi_filtering` are thin wrappers that build the provider
+and schedule, then delegate here. The unifying observation that makes this
+factoring exact: for both scores the stopping quantity of the top-k rule,
+``2λ + b_max`` (entropy) or ``6λ + b'_max`` (MI), equals the maximum
+interval *width* over the current answer set ``R``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Union
+
+from repro.core.bounds import (
+    ConfidenceInterval,
+    MutualInformationInterval,
+    entropy_interval,
+    joint_entropy_interval,
+    mutual_information_interval,
+)
+from repro.core.estimators import entropy_from_counts, joint_entropy_from_counter
+from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+from repro.core.schedule import SampleSchedule
+from repro.data.sampling import PrefixSampler
+from repro.exceptions import ParameterError, SchemaError
+
+__all__ = [
+    "EntropyScoreProvider",
+    "IterationTrace",
+    "MutualInformationScoreProvider",
+    "QueryTrace",
+    "ScoreProvider",
+    "adaptive_top_k",
+    "adaptive_filter",
+    "validate_epsilon",
+    "validate_failure_probability",
+    "validate_k",
+    "validate_threshold",
+    "default_failure_probability",
+]
+
+Interval = Union[ConfidenceInterval, MutualInformationInterval]
+
+
+# ----------------------------------------------------------------------
+# Parameter validation shared by every public query function
+# ----------------------------------------------------------------------
+def validate_epsilon(epsilon: float) -> float:
+    """Check ``0 < ε < 1`` (Definitions 5–6) and return it."""
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    return float(epsilon)
+
+
+def validate_failure_probability(failure_probability: float) -> float:
+    """Check ``0 < p_f < 1`` and return it."""
+    if not 0.0 < failure_probability < 1.0:
+        raise ParameterError(
+            f"failure probability must be in (0, 1), got {failure_probability}"
+        )
+    return float(failure_probability)
+
+
+def validate_k(k: int) -> int:
+    """Check ``k >= 1`` and return it."""
+    if int(k) != k or k < 1:
+        raise ParameterError(f"k must be a positive integer, got {k}")
+    return int(k)
+
+
+def validate_threshold(threshold: float) -> float:
+    """Check ``η >= 0`` (scores are non-negative) and return it."""
+    if threshold < 0.0:
+        raise ParameterError(f"threshold must be >= 0, got {threshold}")
+    return float(threshold)
+
+
+def default_failure_probability(population_size: int) -> float:
+    """The paper's default ``p_f = 1/N`` (Section 6.1), floored for tiny N."""
+    return min(0.5, 1.0 / max(population_size, 2))
+
+
+# ----------------------------------------------------------------------
+# Score providers
+# ----------------------------------------------------------------------
+class ScoreProvider(Protocol):
+    """What the generic loops need from a score implementation."""
+
+    #: How many Lemma 3 bounds one interval consumes (1 entropy, 3 MI) —
+    #: used to split the failure budget.
+    bounds_per_attribute: int
+
+    def interval(self, attribute: str, sample_size: int) -> Interval:
+        """Confidence interval of the attribute's score at ``sample_size``."""
+        ...  # pragma: no cover - protocol
+
+
+class EntropyScoreProvider:
+    """Lemma 3 entropy intervals over a prefix sampler.
+
+    ``beta_mode`` selects the sensitivity form inside λ: the paper's
+    tight closed form (default) or the loose ``2 log2(M)/M`` analysis
+    bound (ablation A5).
+    """
+
+    bounds_per_attribute = 1
+
+    def __init__(
+        self,
+        sampler: PrefixSampler,
+        failure_per_bound: float,
+        *,
+        beta_mode: str = "tight",
+    ) -> None:
+        self._sampler = sampler
+        self._p = validate_failure_probability(failure_per_bound)
+        self._n = sampler.num_rows
+        self._beta_mode = beta_mode
+
+    def interval(self, attribute: str, sample_size: int) -> ConfidenceInterval:
+        counts = self._sampler.marginal_counts(attribute, sample_size)
+        sample_entropy = entropy_from_counts(counts, total=sample_size)
+        return entropy_interval(
+            sample_entropy,
+            self._sampler.store.support_size(attribute),
+            sample_size,
+            self._n,
+            self._p,
+            beta_mode=self._beta_mode,
+        )
+
+
+class MutualInformationScoreProvider:
+    """Section 4 MI intervals ``I(α_t, α)`` over a prefix sampler.
+
+    The target attribute's entropy interval is computed once per sample
+    size and shared across all candidates of that iteration (as in
+    Algorithm 3, line 3).
+    """
+
+    bounds_per_attribute = 3
+
+    def __init__(
+        self, sampler: PrefixSampler, target: str, failure_per_bound: float
+    ) -> None:
+        if target not in sampler.store:
+            raise SchemaError(f"unknown target attribute {target!r}")
+        self._sampler = sampler
+        self._target = target
+        self._p = validate_failure_probability(failure_per_bound)
+        self._n = sampler.num_rows
+        self._target_cache: tuple[int, ConfidenceInterval] | None = None
+
+    @property
+    def target(self) -> str:
+        """The target attribute ``α_t``."""
+        return self._target
+
+    def _target_interval(self, sample_size: int) -> ConfidenceInterval:
+        if self._target_cache is not None and self._target_cache[0] == sample_size:
+            return self._target_cache[1]
+        counts = self._sampler.marginal_counts(self._target, sample_size)
+        sample_entropy = entropy_from_counts(counts, total=sample_size)
+        iv = entropy_interval(
+            sample_entropy,
+            self._sampler.store.support_size(self._target),
+            sample_size,
+            self._n,
+            self._p,
+        )
+        self._target_cache = (sample_size, iv)
+        return iv
+
+    def interval(self, attribute: str, sample_size: int) -> MutualInformationInterval:
+        if attribute == self._target:
+            raise SchemaError(
+                f"candidate equals the target attribute {attribute!r}"
+            )
+        store = self._sampler.store
+        target_iv = self._target_interval(sample_size)
+        counts = self._sampler.marginal_counts(attribute, sample_size)
+        candidate_entropy = entropy_from_counts(counts, total=sample_size)
+        candidate_iv = entropy_interval(
+            candidate_entropy,
+            store.support_size(attribute),
+            sample_size,
+            self._n,
+            self._p,
+        )
+        joint = self._sampler.joint_counts(self._target, attribute, sample_size)
+        joint_entropy = joint_entropy_from_counter(joint)
+        joint_iv = joint_entropy_interval(
+            joint_entropy,
+            store.support_size(self._target),
+            store.support_size(attribute),
+            sample_size,
+            self._n,
+            self._p,
+        )
+        sample_mi = max(
+            0.0, target_iv.estimate + candidate_iv.estimate - joint_entropy
+        )
+        return mutual_information_interval(target_iv, candidate_iv, joint_iv, sample_mi)
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+@dataclass
+class IterationTrace:
+    """Snapshot of one adaptive iteration (for diagnostics/teaching).
+
+    Attributes
+    ----------
+    sample_size:
+        ``M`` of the iteration.
+    candidates:
+        Attributes still alive when the iteration started.
+    bounds:
+        ``{attribute: (lower, upper)}`` of every interval computed.
+    decided:
+        Attributes retired this iteration (filtering loops; empty for
+        top-k, which retires candidates only by pruning).
+    stopped:
+        Whether the stopping rule fired at this sample size.
+    """
+
+    sample_size: int
+    candidates: list[str]
+    bounds: dict[str, tuple[float, float]]
+    decided: list[str] = field(default_factory=list)
+    stopped: bool = False
+
+
+@dataclass
+class QueryTrace:
+    """Per-iteration history of one adaptive query.
+
+    Pass a fresh instance as ``trace=`` to any SWOPE query function; the
+    engine fills ``iterations`` as it runs. Interval widths over
+    ``iterations`` visualise how the bounds tighten and exactly when the
+    stopping rule fires (see ``examples/bound_convergence.py``).
+    """
+
+    iterations: list[IterationTrace] = field(default_factory=list)
+
+    def widths(self, attribute: str) -> list[tuple[int, float]]:
+        """``(sample_size, upper - lower)`` wherever ``attribute`` appears."""
+        out = []
+        for snapshot in self.iterations:
+            if attribute in snapshot.bounds:
+                lower, upper = snapshot.bounds[attribute]
+                out.append((snapshot.sample_size, upper - lower))
+        return out
+
+
+# ----------------------------------------------------------------------
+# Generic adaptive loops
+# ----------------------------------------------------------------------
+@dataclass
+class _LoopContext:
+    """Bookkeeping shared by the two loops."""
+
+    sampler: PrefixSampler
+    stats: RunStats
+    started_at: float
+
+    def finish(self, iterations: int, sample_size: int) -> RunStats:
+        self.stats.iterations = iterations
+        self.stats.final_sample_size = sample_size
+        self.stats.population_size = self.sampler.num_rows
+        self.stats.cells_scanned = self.sampler.cells_scanned
+        self.stats.wall_seconds = time.perf_counter() - self.started_at
+        return self.stats
+
+
+def _estimate_from_interval(
+    attribute: str, iv: Interval, sample_size: int
+) -> AttributeEstimate:
+    return AttributeEstimate(
+        attribute=attribute,
+        estimate=max(iv.lower, min(iv.upper, iv.midpoint)),
+        lower=iv.lower,
+        upper=iv.upper,
+        sample_size=sample_size,
+    )
+
+
+def _kth_largest(values: list[float], k: int) -> float:
+    """The k-th largest element of ``values`` (1-based k, k <= len)."""
+    return sorted(values, reverse=True)[k - 1]
+
+
+def adaptive_top_k(
+    provider: ScoreProvider,
+    sampler: PrefixSampler,
+    candidates: list[str],
+    k: int,
+    epsilon: float,
+    schedule: SampleSchedule,
+    *,
+    prune: bool = True,
+    target: str | None = None,
+    trace: QueryTrace | None = None,
+) -> TopKResult:
+    """Generic SWOPE approximate top-k loop (Algorithms 1 and 3).
+
+    Parameters
+    ----------
+    provider:
+        Score implementation (entropy or MI).
+    sampler:
+        The prefix sampler over the queried store (also the cost meter).
+    candidates:
+        Candidate attribute names (for MI: all attributes except the
+        target).
+    k:
+        Number of attributes to return; clamped to ``len(candidates)``.
+    epsilon:
+        Relative-error parameter of Definition 5.
+    schedule:
+        Sample-size growth schedule.
+    prune:
+        Apply the candidate-pruning step (Algorithm 1, lines 15–17). The
+        ablation benches switch this off.
+    target:
+        Recorded on the result for MI queries.
+
+    Notes
+    -----
+    The stopping rule at each iteration is
+    ``(Ū_k - w_max) / Ū_k >= 1 - ε`` where ``Ū_k`` is the k-th largest
+    upper bound over the candidates and ``w_max`` the largest interval
+    width within the current answer set ``R`` — equal to ``2λ + b_max``
+    for entropy and ``6λ + b'_max`` for MI. A non-positive ``Ū_k`` means
+    every remaining score is exactly zero, so any k attributes satisfy
+    Definition 5 and the loop stops.
+    """
+    epsilon = validate_epsilon(epsilon)
+    k = validate_k(k)
+    if not candidates:
+        raise ParameterError("top-k query needs at least one candidate attribute")
+    k_effective = min(k, len(candidates))
+    ctx = _LoopContext(sampler, RunStats(), time.perf_counter())
+    live = list(candidates)
+    iterations = 0
+    answer: list[tuple[str, Interval]] = []
+    sample_size = schedule.sizes[0]
+    for index, sample_size in enumerate(schedule.sizes):
+        iterations += 1
+        intervals = {a: provider.interval(a, sample_size) for a in live}
+        by_upper = sorted(live, key=lambda a: intervals[a].upper, reverse=True)
+        answer = [(a, intervals[a]) for a in by_upper[:k_effective]]
+        upper_k = answer[-1][1].upper
+        width_max = max(iv.width for _, iv in answer)
+        stopped = upper_k <= 0.0 or (
+            (upper_k - width_max) / upper_k >= 1.0 - epsilon
+        )
+        if trace is not None:
+            trace.iterations.append(
+                IterationTrace(
+                    sample_size=sample_size,
+                    candidates=list(live),
+                    bounds={a: (iv.lower, iv.upper) for a, iv in intervals.items()},
+                    stopped=stopped,
+                )
+            )
+        if stopped:
+            break
+        if index == len(schedule.sizes) - 1:
+            # M reached N: λ = b = 0 so the condition above must have fired
+            # unless upper_k <= 0, which also fired. Defensive only.
+            break  # pragma: no cover
+        if prune and len(live) > k_effective:
+            lower_k = _kth_largest([intervals[a].lower for a in live], k_effective)
+            survivors = [a for a in live if intervals[a].upper >= lower_k]
+            for gone in set(live) - set(survivors):
+                ctx.stats.candidates_pruned += 1
+                sampler.release(gone)
+            live = survivors
+    stats = ctx.finish(iterations, sample_size)
+    estimates = [
+        _estimate_from_interval(a, iv, sample_size) for a, iv in answer
+    ]
+    return TopKResult(
+        attributes=[a for a, _ in answer],
+        estimates=estimates,
+        stats=stats,
+        k=k,
+        target=target,
+    )
+
+
+def adaptive_filter(
+    provider: ScoreProvider,
+    sampler: PrefixSampler,
+    candidates: list[str],
+    threshold: float,
+    epsilon: float,
+    schedule: SampleSchedule,
+    *,
+    target: str | None = None,
+    trace: QueryTrace | None = None,
+) -> FilterResult:
+    """Generic SWOPE approximate filtering loop (Algorithms 2 and 4).
+
+    For each undecided attribute at each sample size, in the paper's order:
+
+    1. if the interval width ``< 2εη``, decide by comparing the interval
+       midpoint against ``η`` and retire the attribute;
+    2. else if the lower bound ``>= (1 - ε)η``, include and retire;
+    3. else if the upper bound ``< (1 + ε)η``, exclude and retire.
+
+    The loop ends when no attribute is undecided or the sample is the whole
+    dataset (at which point widths are zero and rule 1 or 2 retires
+    everything).
+    """
+    epsilon = validate_epsilon(epsilon)
+    threshold = validate_threshold(threshold)
+    if not candidates:
+        raise ParameterError("filtering query needs at least one candidate attribute")
+    ctx = _LoopContext(sampler, RunStats(), time.perf_counter())
+    undecided = list(candidates)
+    included: list[str] = []
+    estimates: dict[str, AttributeEstimate] = {}
+    iterations = 0
+    sample_size = schedule.sizes[0]
+    for sample_size in schedule.sizes:
+        iterations += 1
+        still: list[str] = []
+        snapshot = (
+            IterationTrace(
+                sample_size=sample_size,
+                candidates=list(undecided),
+                bounds={},
+            )
+            if trace is not None
+            else None
+        )
+        for attribute in undecided:
+            iv = provider.interval(attribute, sample_size)
+            if snapshot is not None:
+                snapshot.bounds[attribute] = (iv.lower, iv.upper)
+            decided = True
+            if iv.width < 2.0 * epsilon * threshold:
+                if iv.midpoint >= threshold:
+                    included.append(attribute)
+            elif iv.lower >= (1.0 - epsilon) * threshold:
+                included.append(attribute)
+            elif iv.upper < (1.0 + epsilon) * threshold:
+                pass  # excluded
+            else:
+                decided = False
+                still.append(attribute)
+            if decided:
+                estimates[attribute] = _estimate_from_interval(
+                    attribute, iv, sample_size
+                )
+                sampler.release(attribute)
+                if snapshot is not None:
+                    snapshot.decided.append(attribute)
+        undecided = still
+        if snapshot is not None:
+            snapshot.stopped = not undecided
+            trace.iterations.append(snapshot)
+        if not undecided:
+            break
+    # At M = N all widths are 0, so rule 1 (η > 0) or rule 2 (η = 0)
+    # retires every attribute; reaching here with undecided attributes
+    # would indicate a bounds bug.
+    assert not undecided, "filtering loop ended with undecided attributes"
+    included.sort(key=lambda a: estimates[a].estimate, reverse=True)
+    stats = ctx.finish(iterations, sample_size)
+    return FilterResult(
+        attributes=included,
+        estimates=estimates,
+        stats=stats,
+        threshold=threshold,
+        target=target,
+    )

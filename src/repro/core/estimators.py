@@ -1,0 +1,183 @@
+"""Plug-in (maximum-likelihood) estimators for empirical entropy and MI.
+
+These are the score functions the paper's queries rank and filter by
+(Definitions 1 and 2):
+
+* empirical entropy  ``H_D(α) = -Σ_i (n_i/N) log2(n_i/N)``
+* empirical joint entropy over a pair of attributes
+* empirical mutual information ``I = H(α1) + H(α2) - H(α1, α2)``
+
+All functions work directly on occurrence-count arrays, which is the only
+data representation the sampling substrate produces; none of them ever see
+raw records. Everything is base-2 (bits), matching the paper.
+
+Two bias-aware variants beyond the paper's plug-in estimator are included
+(Miller–Madow and jackknife) because downstream users frequently reach for
+them; they are *not* used by the SWOPE algorithms, whose bias handling is
+the explicit ``b(α)`` term of Lemma 1 (see :mod:`repro.core.bounds`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+if TYPE_CHECKING:  # import for type checkers only: repro.data imports
+    # back into repro.core, so a runtime import here would be circular.
+    from repro.data.joint import JointCounter
+
+__all__ = [
+    "entropy_from_counts",
+    "entropy_from_probabilities",
+    "joint_entropy_from_counter",
+    "mutual_information_from_counts",
+    "miller_madow_entropy",
+    "jackknife_entropy",
+]
+
+
+def _validated_counts(counts: np.ndarray) -> np.ndarray:
+    arr = np.asarray(counts)
+    if arr.ndim != 1:
+        raise ParameterError(f"counts must be 1-D, got shape {arr.shape}")
+    if arr.size and int(arr.min()) < 0:
+        raise ParameterError("counts must be non-negative")
+    return arr
+
+
+def entropy_from_counts(counts: np.ndarray, total: int | None = None) -> float:
+    """Plug-in empirical entropy (bits) from occurrence counts.
+
+    Parameters
+    ----------
+    counts:
+        Occurrence counts ``n_i`` (zeros allowed — they contribute nothing).
+    total:
+        The number of records the counts were taken over. Defaults to
+        ``counts.sum()``; pass it explicitly only as a consistency check
+        (a mismatch raises :class:`~repro.exceptions.ParameterError`).
+
+    Returns
+    -------
+    float
+        ``-Σ (n_i/total) log2(n_i/total)``; ``0.0`` for an empty or
+        single-valued sample. Never negative.
+    """
+    arr = _validated_counts(counts)
+    observed_total = int(arr.sum())
+    if total is None:
+        total = observed_total
+    elif total != observed_total:
+        raise ParameterError(
+            f"counts sum to {observed_total} but total={total} was declared"
+        )
+    if total == 0:
+        return 0.0
+    positive = arr[arr > 0].astype(np.float64)
+    p = positive / float(total)
+    # max(0, .) guards against -0.0 and tiny negative rounding residue.
+    return max(0.0, float(-(p * np.log2(p)).sum()))
+
+
+def entropy_from_probabilities(probabilities: np.ndarray) -> float:
+    """Shannon entropy (bits) of an explicit probability vector.
+
+    Used by the synthetic-data generators to hit target entropies; the
+    algorithms themselves always work from counts.
+    """
+    p = np.asarray(probabilities, dtype=np.float64)
+    if p.ndim != 1:
+        raise ParameterError(f"probabilities must be 1-D, got shape {p.shape}")
+    if p.size == 0:
+        raise ParameterError("probability vector must be non-empty")
+    if (p < 0).any():
+        raise ParameterError("probabilities must be non-negative")
+    total = float(p.sum())
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+        raise ParameterError(f"probabilities must sum to 1, got {total}")
+    positive = p[p > 0]
+    return max(0.0, float(-(positive * np.log2(positive)).sum()))
+
+
+def joint_entropy_from_counter(counter: "JointCounter") -> float:
+    """Plug-in empirical joint entropy (bits) from a pair counter."""
+    return entropy_from_counts(counter.nonzero_counts(), total=counter.total)
+
+
+def mutual_information_from_counts(
+    counts_first: np.ndarray,
+    counts_second: np.ndarray,
+    joint: "JointCounter",
+) -> float:
+    """Plug-in empirical mutual information ``I = H1 + H2 - H12`` (bits).
+
+    The three count sources must cover the same records: totals are checked
+    and a mismatch raises :class:`~repro.exceptions.ParameterError`.
+
+    The plug-in MI of a finite sample is mathematically non-negative; tiny
+    negative floating-point residue is clamped to ``0.0``.
+    """
+    total_first = int(np.asarray(counts_first).sum())
+    total_second = int(np.asarray(counts_second).sum())
+    if not total_first == total_second == joint.total:
+        raise ParameterError(
+            "count totals disagree:"
+            f" first={total_first}, second={total_second}, joint={joint.total}"
+        )
+    h1 = entropy_from_counts(counts_first)
+    h2 = entropy_from_counts(counts_second)
+    h12 = joint_entropy_from_counter(joint)
+    return max(0.0, h1 + h2 - h12)
+
+
+def miller_madow_entropy(counts: np.ndarray) -> float:
+    """Miller–Madow bias-corrected entropy estimate (bits).
+
+    Adds ``(K - 1) / (2 M ln 2)`` to the plug-in estimate, where ``K`` is
+    the number of observed distinct values and ``M`` the sample size. A
+    classical first-order correction for the plug-in estimator's downward
+    bias; provided as a convenience, not used by SWOPE.
+    """
+    arr = _validated_counts(counts)
+    total = int(arr.sum())
+    if total == 0:
+        return 0.0
+    observed = int((arr > 0).sum())
+    correction = (observed - 1) / (2.0 * total * math.log(2.0))
+    return entropy_from_counts(arr) + correction
+
+
+def jackknife_entropy(counts: np.ndarray) -> float:
+    """Jackknifed entropy estimate (bits).
+
+    Computes ``M * H - (M - 1) * mean(H_leave_one_out)`` where the
+    leave-one-out entropies are aggregated per distinct value (all
+    leave-outs of records sharing a value give the same entropy), so the
+    cost is ``O(K)`` rather than ``O(M)``.
+    """
+    arr = _validated_counts(counts)
+    total = int(arr.sum())
+    if total <= 1:
+        return 0.0
+    h_full = entropy_from_counts(arr)
+    positive = arr[arr > 0].astype(np.float64)
+    m = float(total)
+    # Leaving out one record of value i turns the count vector's i-th entry
+    # from n_i to n_i - 1 and the total from M to M - 1. Entropy of that
+    # vector, computed via the decomposition H = log2(M') - S/M' with
+    # S = Σ n log2 n over the adjusted counts.
+    def _log2_weighted(values: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(values)
+        mask = values > 0
+        out[mask] = values[mask] * np.log2(values[mask])
+        return out
+
+    s_full = _log2_weighted(positive).sum()
+    s_minus = s_full - _log2_weighted(positive) + _log2_weighted(positive - 1.0)
+    h_loo = np.log2(m - 1.0) - s_minus / (m - 1.0)
+    mean_loo = float((positive / m * h_loo).sum())
+    return max(0.0, m * h_full - (m - 1.0) * mean_loo)

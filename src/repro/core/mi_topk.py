@@ -1,0 +1,110 @@
+"""SWOPE approximate top-k query on empirical mutual information (Alg. 3).
+
+Given a target attribute ``α_t``, return the ``k`` candidate attributes
+with (approximately) the largest ``I(α_t, α)`` — the core primitive of
+entropy-based feature selection. The guarantees and machinery mirror the
+entropy top-k query (Definition 5, Theorem 5) with three differences:
+
+* each candidate consumes three Lemma 3 bounds per iteration (target
+  entropy, candidate entropy, joint entropy), so the per-bound failure
+  budget is ``p_f / (3 · i_max · (h - 1))``;
+* the interval width is ``6λ + b'(α)`` with
+  ``b'(α) = b(α_t) + b(α) + b(α_t, α)``;
+* the unknown pair support ``u_{t,α}`` is upper-bounded by ``u_t · u_α``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import (
+    QueryTrace,
+    MutualInformationScoreProvider,
+    adaptive_top_k,
+    default_failure_probability,
+)
+from repro.core.results import TopKResult
+from repro.core.schedule import SampleSchedule
+from repro.data.column_store import ColumnStore
+from repro.data.sampling import PrefixSampler
+from repro.exceptions import ParameterError, SchemaError
+
+__all__ = ["swope_top_k_mutual_information"]
+
+
+def swope_top_k_mutual_information(
+    store: ColumnStore,
+    target: str,
+    k: int,
+    *,
+    epsilon: float = 0.5,
+    failure_probability: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    candidates: list[str] | None = None,
+    schedule: SampleSchedule | None = None,
+    sampler: PrefixSampler | None = None,
+    prune: bool = True,
+    trace: "QueryTrace | None" = None,
+) -> TopKResult:
+    """Answer an approximate MI top-k query with SWOPE (Algorithm 3).
+
+    Parameters
+    ----------
+    store:
+        The dataset to query.
+    target:
+        The target attribute ``α_t`` (excluded from the candidates).
+    k:
+        Number of candidates to return.
+    epsilon:
+        Error parameter of Definition 5. The paper's evaluation default
+        for MI queries is ``0.5``.
+    failure_probability:
+        ``p_f``; defaults to the paper's ``1/N``.
+    seed:
+        Seed or generator controlling the random shuffle.
+    candidates:
+        Restrict the candidate set (default: all attributes except
+        ``target``).
+    schedule, sampler, prune:
+        As in :func:`repro.core.topk.swope_top_k_entropy`.
+
+    Returns
+    -------
+    TopKResult
+        ``result.target`` records the target attribute.
+    """
+    if target not in store:
+        raise SchemaError(f"unknown target attribute {target!r}")
+    if candidates is None:
+        names = [a for a in store.attributes if a != target]
+    else:
+        names = list(candidates)
+        unknown = [a for a in names if a not in store]
+        if unknown:
+            raise SchemaError(f"unknown attributes: {unknown}")
+        if target in names:
+            raise ParameterError(
+                f"target attribute {target!r} cannot also be a candidate"
+            )
+    if not names:
+        raise ParameterError("MI top-k query needs at least one candidate attribute")
+    if failure_probability is None:
+        failure_probability = default_failure_probability(store.num_rows)
+    if sampler is None:
+        sampler = PrefixSampler(store, seed=seed)
+    if schedule is None:
+        schedule = SampleSchedule.for_query(
+            store.num_rows,
+            len(names) + 1,
+            failure_probability,
+            max(store.support_size(a) for a in [target, *names]),
+        )
+    per_bound = schedule.per_round_failure(
+        failure_probability, len(names), bounds_per_attribute=3
+    )
+    provider = MutualInformationScoreProvider(sampler, target, per_bound)
+    return adaptive_top_k(
+        provider, sampler, names, k, epsilon, schedule, prune=prune,
+        target=target, trace=trace,
+    )

@@ -1,0 +1,168 @@
+"""Result and run-statistics types shared by all query algorithms.
+
+Every algorithm in :mod:`repro.core` and :mod:`repro.baselines` returns a
+rich result object instead of a bare list of attribute names, so that
+examples, tests, and the experiment harness can inspect *how* the answer
+was produced: final sample size, number of iterations, cells scanned, and
+the per-attribute score estimates with their confidence bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AttributeEstimate", "RunStats", "TopKResult", "FilterResult"]
+
+
+@dataclass(frozen=True)
+class AttributeEstimate:
+    """Final state of one attribute's score estimate when a query returned.
+
+    Attributes
+    ----------
+    attribute:
+        Attribute name (for MI queries, the candidate attribute — the
+        target is recorded on the result object).
+    estimate:
+        The point estimate the algorithm would report (interval midpoint
+        for SWOPE, plug-in sample score for the baselines, exact score for
+        the exact algorithm).
+    lower, upper:
+        Confidence bounds at the moment the attribute's fate was decided.
+        For exact computation ``lower == estimate == upper``.
+    sample_size:
+        Sample size at which the attribute was last evaluated.
+    """
+
+    attribute: str
+    estimate: float
+    lower: float
+    upper: float
+    sample_size: int
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.upper:
+            raise ValueError(
+                f"estimate bounds inverted for {self.attribute!r}:"
+                f" [{self.lower}, {self.upper}]"
+            )
+
+
+@dataclass
+class RunStats:
+    """Work accounting for one query execution.
+
+    Attributes
+    ----------
+    iterations:
+        Number of sampling iterations executed (1 for the exact baseline).
+    final_sample_size:
+        ``M`` when the algorithm stopped (equals ``N`` for exact).
+    population_size:
+        ``N`` of the queried dataset.
+    cells_scanned:
+        Total attribute values read from the dataset — the
+        machine-independent cost metric reported next to wall-clock time
+        in the experiment harness.
+    wall_seconds:
+        Wall-clock duration of the query as measured by the algorithm
+        itself (monotonic clock).
+    candidates_pruned:
+        Attributes eliminated from the candidate set before the final
+        iteration (0 when pruning is disabled or never fires).
+    """
+
+    iterations: int = 0
+    final_sample_size: int = 0
+    population_size: int = 0
+    cells_scanned: int = 0
+    wall_seconds: float = 0.0
+    candidates_pruned: int = 0
+
+    @property
+    def sample_fraction(self) -> float:
+        """``M / N`` at termination — 1.0 means the whole dataset was read."""
+        if self.population_size == 0:
+            return 0.0
+        return self.final_sample_size / self.population_size
+
+
+@dataclass
+class TopKResult:
+    """Answer of a top-k query (entropy or mutual information).
+
+    Attributes
+    ----------
+    attributes:
+        The returned attribute names, ordered by decreasing score
+        estimate (the paper orders the approximate answer by upper bound;
+        exact algorithms by exact score).
+    estimates:
+        One :class:`AttributeEstimate` per returned attribute, same order.
+    stats:
+        Work accounting for the run.
+    target:
+        The target attribute ``α_t`` for MI queries; ``None`` for entropy.
+    k:
+        The requested ``k`` (may exceed ``len(attributes)`` when the
+        dataset has fewer candidates than ``k``).
+    """
+
+    attributes: list[str]
+    estimates: list[AttributeEstimate]
+    stats: RunStats
+    k: int
+    target: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.attributes) != len(self.estimates):
+            raise ValueError(
+                f"{len(self.attributes)} attributes but"
+                f" {len(self.estimates)} estimates"
+            )
+
+    def estimate_of(self, attribute: str) -> AttributeEstimate:
+        """Look up the estimate of one returned attribute by name."""
+        for est in self.estimates:
+            if est.attribute == attribute:
+                return est
+        raise KeyError(f"attribute {attribute!r} is not part of this answer")
+
+    def scores(self) -> dict[str, float]:
+        """``{attribute: point estimate}`` for the returned attributes."""
+        return {est.attribute: est.estimate for est in self.estimates}
+
+
+@dataclass
+class FilterResult:
+    """Answer of a filtering (threshold) query.
+
+    Attributes
+    ----------
+    attributes:
+        The returned set of attribute names, ordered by decreasing score
+        estimate.
+    estimates:
+        Estimates for *every* attribute the query examined (returned and
+        rejected alike), keyed by name — useful for diagnostics and for
+        the accuracy metrics.
+    stats:
+        Work accounting for the run.
+    threshold:
+        The query threshold ``η``.
+    target:
+        The target attribute for MI queries; ``None`` for entropy.
+    """
+
+    attributes: list[str]
+    estimates: dict[str, AttributeEstimate] = field(default_factory=dict)
+    stats: RunStats = field(default_factory=RunStats)
+    threshold: float = 0.0
+    target: str | None = None
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in set(self.attributes)
+
+    def answer_set(self) -> frozenset[str]:
+        """The returned attributes as a set (order-free comparisons)."""
+        return frozenset(self.attributes)

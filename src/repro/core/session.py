@@ -1,0 +1,197 @@
+"""Query sessions: amortise sampling across several queries.
+
+The prefix-sampling substrate makes samples *reusable*: the counts
+accumulated for one query's sample prefix are exactly the counts a later
+query needs for its own prefix of the same shuffle. A
+:class:`QuerySession` wraps one store and one
+:class:`~repro.data.sampling.PrefixSampler` (in counter-retaining mode)
+and exposes the four SWOPE queries over them:
+
+>>> session = QuerySession(store, seed=0)          # doctest: +SKIP
+>>> session.top_k_entropy(5)                       # pays for its sample
+>>> session.filter_entropy(2.0)                    # reuses those counts
+>>> session.filter_entropy(1.0)                    # marginal cost ~ 0
+
+Two mechanisms make this work:
+
+* the shared sampler keeps every counter alive (``retain=True``), so a
+  later query's request for the same prefix costs nothing;
+* the session *ratchets* the starting sample size: each query's schedule
+  begins at the largest ``M`` any earlier query reached (prefix counters
+  can only grow). Starting a query at a larger-than-``M0`` sample is
+  statistically harmless — the Lemma 3 interval at a larger ``M`` is
+  simply tighter, and the per-round failure budget is computed from the
+  (shorter) actual schedule.
+
+``marginal_cells()`` exposes the incremental cost of the latest query.
+
+Statistical note: every query individually retains its Definition 5/6
+guarantee — each is analysed against the (single) random shuffle, and the
+union bound inside each query covers all of its own bound evaluations.
+What reuse *does* introduce is dependence **between** queries' errors
+(they share one shuffle); if you need independent failure events across
+queries, give each its own seeded session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import default_failure_probability
+from repro.core.filtering import swope_filter_entropy
+from repro.core.mi_filtering import swope_filter_mutual_information
+from repro.core.mi_topk import swope_top_k_mutual_information
+from repro.core.results import FilterResult, TopKResult
+from repro.core.schedule import SampleSchedule, initial_sample_size
+from repro.core.topk import swope_top_k_entropy
+from repro.data.column_store import ColumnStore
+from repro.data.sampling import PrefixSampler
+
+__all__ = ["QuerySession"]
+
+
+class QuerySession:
+    """A store plus a shared sampler; queries reuse each other's samples.
+
+    Parameters
+    ----------
+    store:
+        The dataset to query.
+    seed:
+        Seed for the single shuffle all queries share.
+    sequential:
+        Read physical row order instead of shuffling (only valid when the
+        physical order is already exchangeable).
+    failure_probability:
+        ``p_f`` used by every query of the session (default: the paper's
+        ``1/N``).
+    """
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        *,
+        seed: int | np.random.Generator | None = None,
+        sequential: bool = False,
+        failure_probability: float | None = None,
+    ) -> None:
+        self._store = store
+        self._sampler = PrefixSampler(
+            store, seed=seed, sequential=sequential, retain=True
+        )
+        self._failure = (
+            failure_probability
+            if failure_probability is not None
+            else default_failure_probability(store.num_rows)
+        )
+        self._floor = 0  # largest M any query has reached so far
+        self._queries_run = 0
+        self._last_cells = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ColumnStore:
+        """The wrapped dataset."""
+        return self._store
+
+    @property
+    def cells_scanned(self) -> int:
+        """Cumulative unique cells read across all queries so far."""
+        return self._sampler.cells_scanned
+
+    @property
+    def queries_run(self) -> int:
+        """Number of queries answered by this session."""
+        return self._queries_run
+
+    @property
+    def sample_floor(self) -> int:
+        """The ratcheted starting sample size for the next query."""
+        return self._floor
+
+    def marginal_cells(self) -> int:
+        """Cells added by the most recent query (0 before any query)."""
+        return self._last_cells
+
+    # ------------------------------------------------------------------
+    def _schedule(self, num_attributes: int, max_support: int) -> SampleSchedule:
+        """A paper schedule whose start is ratcheted to the session floor."""
+        m0 = initial_sample_size(
+            self._store.num_rows, num_attributes, self._failure, max_support
+        )
+        start = min(self._store.num_rows, max(m0, self._floor))
+        return SampleSchedule.for_query(
+            self._store.num_rows,
+            num_attributes,
+            self._failure,
+            max_support,
+            initial_size=start,
+        )
+
+    def _run(self, runner, names: list[str]):
+        schedule = self._schedule(
+            len(names), max(self._store.support_size(a) for a in names)
+        )
+        before = self._sampler.cells_scanned
+        result = runner(schedule)
+        self._queries_run += 1
+        self._last_cells = self._sampler.cells_scanned - before
+        self._floor = max(self._floor, result.stats.final_sample_size)
+        return result
+
+    # ------------------------------------------------------------------
+    def top_k_entropy(self, k: int, **kwargs) -> TopKResult:
+        """Algorithm 1 over the shared sampler. Keywords as in
+        :func:`repro.core.topk.swope_top_k_entropy` (minus seed/sampler/
+        schedule/failure_probability, which the session owns). Pruning is
+        off by default — pruning would release shared counters."""
+        names = kwargs.pop("attributes", None) or list(self._store.attributes)
+        kwargs.setdefault("prune", False)
+        return self._run(
+            lambda schedule: swope_top_k_entropy(
+                self._store, k, attributes=names, sampler=self._sampler,
+                schedule=schedule, failure_probability=self._failure, **kwargs,
+            ),
+            names,
+        )
+
+    def filter_entropy(self, threshold: float, **kwargs) -> FilterResult:
+        """Algorithm 2 over the shared sampler."""
+        names = kwargs.pop("attributes", None) or list(self._store.attributes)
+        return self._run(
+            lambda schedule: swope_filter_entropy(
+                self._store, threshold, attributes=names, sampler=self._sampler,
+                schedule=schedule, failure_probability=self._failure, **kwargs,
+            ),
+            names,
+        )
+
+    def top_k_mutual_information(self, target: str, k: int, **kwargs) -> TopKResult:
+        """Algorithm 3 over the shared sampler (pruning off by default)."""
+        names = kwargs.pop("candidates", None) or [
+            a for a in self._store.attributes if a != target
+        ]
+        kwargs.setdefault("prune", False)
+        return self._run(
+            lambda schedule: swope_top_k_mutual_information(
+                self._store, target, k, candidates=names, sampler=self._sampler,
+                schedule=schedule, failure_probability=self._failure, **kwargs,
+            ),
+            [target, *names],
+        )
+
+    def filter_mutual_information(
+        self, target: str, threshold: float, **kwargs
+    ) -> FilterResult:
+        """Algorithm 4 over the shared sampler."""
+        names = kwargs.pop("candidates", None) or [
+            a for a in self._store.attributes if a != target
+        ]
+        return self._run(
+            lambda schedule: swope_filter_mutual_information(
+                self._store, target, threshold, candidates=names,
+                sampler=self._sampler, schedule=schedule,
+                failure_probability=self._failure, **kwargs,
+            ),
+            [target, *names],
+        )

@@ -1,0 +1,43 @@
+"""Data substrate: columnar storage, encoding, IO, and prefix sampling.
+
+This subpackage is everything below the algorithms: how a dataset is held
+in memory (:class:`~repro.data.column_store.ColumnStore`), how raw values
+become dense codes (:mod:`repro.data.encoding`), how files are read and
+cached (:mod:`repro.data.csv_io`), the paper's column pre-filters
+(:mod:`repro.data.filters`), and the sampling-without-replacement substrate
+with incremental marginal/joint counters (:mod:`repro.data.sampling`,
+:mod:`repro.data.joint`).
+"""
+
+from repro.data.column_store import ColumnStore
+from repro.data.csv_io import load_csv, load_npz, save_npz
+from repro.data.describe import AttributeProfile, describe_store, profile_attribute
+from repro.data.encoding import CategoricalEncoder, encode_column, encode_table
+from repro.data.filters import (
+    PAPER_MAX_SUPPORT,
+    drop_constant_columns,
+    drop_high_support_columns,
+)
+from repro.data.joint import JointCounter
+from repro.data.sampling import PrefixSampler
+from repro.data.streaming import StreamingCounts, stream_csv_counts
+
+__all__ = [
+    "AttributeProfile",
+    "ColumnStore",
+    "CategoricalEncoder",
+    "JointCounter",
+    "PrefixSampler",
+    "PAPER_MAX_SUPPORT",
+    "StreamingCounts",
+    "describe_store",
+    "drop_constant_columns",
+    "drop_high_support_columns",
+    "encode_column",
+    "encode_table",
+    "load_csv",
+    "load_npz",
+    "profile_attribute",
+    "save_npz",
+    "stream_csv_counts",
+]

@@ -1,0 +1,253 @@
+"""Columnar dataset container used by every algorithm in this package.
+
+The paper (Section 2.1) assumes the input dataset :math:`\\mathcal{D}` has
+``N`` records and ``h`` categorical attributes whose values fall into the
+dense integer range ``[1, u_alpha]`` after a one-to-one preprocessing match.
+:class:`ColumnStore` is that preprocessed representation: one NumPy integer
+array per attribute, values in ``[0, u_alpha)`` (zero-based; the shift is
+immaterial to every count-based formula), plus the per-attribute support
+size ``u_alpha``.
+
+The store is deliberately immutable after construction: the sampling layer
+(:mod:`repro.data.sampling`) hands out views of these arrays, and mutating a
+column under a live sampler would silently corrupt incremental counters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+__all__ = ["ColumnStore"]
+
+#: Integer dtypes accepted for encoded columns.
+_INTEGER_KINDS = ("i", "u")
+
+
+def _pick_dtype(support_size: int) -> np.dtype:
+    """Return the smallest integer dtype that holds ``[0, support_size)``."""
+    if support_size <= np.iinfo(np.int16).max:
+        return np.dtype(np.int16)
+    if support_size <= np.iinfo(np.int32).max:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+class ColumnStore:
+    """Immutable columnar dataset of dense-encoded categorical attributes.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from attribute name to a 1-D integer array of encoded
+        values. All arrays must have the same length and contain values in
+        ``[0, support_size)`` for that attribute.
+    support_sizes:
+        Optional mapping from attribute name to the support size
+        ``u_alpha``. When omitted, the support size of each column is
+        inferred as ``max(column) + 1`` (``1`` for an empty dataset). Pass
+        it explicitly when a value of the domain may be absent from the
+        data but should still count toward ``u_alpha``.
+
+    Raises
+    ------
+    SchemaError
+        If columns disagree on length, a column is not 1-D integral, a
+        value is negative or at least the declared support size, or the
+        store would have no columns.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> store = ColumnStore({"a": np.array([0, 1, 1, 2]), "b": np.array([0, 0, 1, 0])})
+    >>> store.num_rows, store.num_attributes
+    (4, 2)
+    >>> store.support_size("a")
+    3
+    """
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray],
+        support_sizes: Mapping[str, int] | None = None,
+    ) -> None:
+        if not columns:
+            raise SchemaError("a ColumnStore requires at least one column")
+        self._columns: dict[str, np.ndarray] = {}
+        self._support: dict[str, int] = {}
+        num_rows: int | None = None
+        for name, raw in columns.items():
+            arr = np.asarray(raw)
+            if arr.ndim != 1:
+                raise SchemaError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+            if arr.dtype.kind not in _INTEGER_KINDS:
+                raise SchemaError(
+                    f"column {name!r} must be an integer array, got dtype {arr.dtype};"
+                    " encode raw values first (see repro.data.encoding)"
+                )
+            if num_rows is None:
+                num_rows = arr.shape[0]
+            elif arr.shape[0] != num_rows:
+                raise SchemaError(
+                    f"column {name!r} has {arr.shape[0]} rows, expected {num_rows}"
+                )
+            observed_max = int(arr.max(initial=-1))
+            observed_min = int(arr.min(initial=0))
+            if observed_min < 0:
+                raise SchemaError(f"column {name!r} contains negative codes")
+            if support_sizes is not None and name in support_sizes:
+                u = int(support_sizes[name])
+                if u < 1:
+                    raise SchemaError(f"support size of {name!r} must be >= 1, got {u}")
+                if observed_max >= u:
+                    raise SchemaError(
+                        f"column {name!r} contains code {observed_max} but declares"
+                        f" support size {u}"
+                    )
+            else:
+                u = observed_max + 1 if observed_max >= 0 else 1
+            arr = np.ascontiguousarray(arr, dtype=_pick_dtype(u))
+            arr.setflags(write=False)
+            self._columns[name] = arr
+            self._support[name] = u
+        assert num_rows is not None
+        self._num_rows = num_rows
+
+    # ------------------------------------------------------------------
+    # Basic shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of records ``N`` in the dataset."""
+        return self._num_rows
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of attributes ``h`` in the dataset."""
+        return len(self._columns)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in insertion order."""
+        return tuple(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._columns
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnStore(num_rows={self._num_rows},"
+            f" num_attributes={self.num_attributes})"
+        )
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Return the (read-only) encoded value array of attribute ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def support_size(self, name: str) -> int:
+        """Return ``u_alpha``, the number of distinct values of ``name``."""
+        try:
+            return self._support[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def support_sizes(self) -> dict[str, int]:
+        """Return a fresh ``{attribute: u_alpha}`` mapping for all attributes."""
+        return dict(self._support)
+
+    def max_support_size(self) -> int:
+        """Return ``u_max``, the largest support size over all attributes."""
+        return max(self._support.values())
+
+    # ------------------------------------------------------------------
+    # Derived stores
+    # ------------------------------------------------------------------
+    def select(self, names: Iterable[str]) -> "ColumnStore":
+        """Return a new store restricted to ``names`` (order preserved).
+
+        The underlying arrays are shared, not copied.
+        """
+        names = list(names)
+        missing = [n for n in names if n not in self._columns]
+        if missing:
+            raise SchemaError(f"unknown attributes: {missing}")
+        return ColumnStore(
+            {n: self._columns[n] for n in names},
+            support_sizes={n: self._support[n] for n in names},
+        )
+
+    def drop(self, names: Iterable[str]) -> "ColumnStore":
+        """Return a new store without the attributes in ``names``."""
+        dropped = set(names)
+        missing = [n for n in dropped if n not in self._columns]
+        if missing:
+            raise SchemaError(f"unknown attributes: {missing}")
+        kept = [n for n in self._columns if n not in dropped]
+        if not kept:
+            raise SchemaError("dropping these attributes would leave an empty store")
+        return self.select(kept)
+
+    def head(self, num_rows: int) -> "ColumnStore":
+        """Return a new store containing the first ``num_rows`` records.
+
+        Support sizes are preserved from the parent store (the domain does
+        not shrink just because a prefix is taken).
+        """
+        if num_rows < 1:
+            raise SchemaError(f"head() requires num_rows >= 1, got {num_rows}")
+        num_rows = min(num_rows, self._num_rows)
+        return ColumnStore(
+            {n: col[:num_rows] for n, col in self._columns.items()},
+            support_sizes=dict(self._support),
+        )
+
+    def take(self, row_indices: Sequence[int] | np.ndarray) -> "ColumnStore":
+        """Return a new store containing the given rows, in the given order."""
+        idx = np.asarray(row_indices)
+        if idx.ndim != 1:
+            raise SchemaError("row_indices must be 1-D")
+        return ColumnStore(
+            {n: col[idx] for n, col in self._columns.items()},
+            support_sizes=dict(self._support),
+        )
+
+    # ------------------------------------------------------------------
+    # Counting (the only data access pattern the algorithms need)
+    # ------------------------------------------------------------------
+    def value_counts(self, name: str, num_rows: int | None = None) -> np.ndarray:
+        """Return occurrence counts ``n_i`` of attribute ``name``.
+
+        Parameters
+        ----------
+        name:
+            Attribute to count.
+        num_rows:
+            When given, only the first ``num_rows`` records are counted
+            (used by sequential-prefix sampling); otherwise all records.
+
+        Returns
+        -------
+        numpy.ndarray
+            Length-``u_alpha`` int64 array with ``counts[i]`` = number of
+            records whose encoded value equals ``i``.
+        """
+        col = self.column(name)
+        if num_rows is not None:
+            col = col[:num_rows]
+        return np.bincount(col, minlength=self.support_size(name)).astype(np.int64)
+
+    def memory_bytes(self) -> int:
+        """Return the total bytes held by the encoded column arrays."""
+        return sum(col.nbytes for col in self._columns.values())

@@ -1,0 +1,90 @@
+"""Per-attribute summaries of a columnar store (categorical `describe`).
+
+Before pointing queries at a dataset it helps to see what is in it: per
+attribute the support size, exact empirical entropy, the share of the
+most frequent value, and missing-domain information. Used by the
+``repro describe`` CLI command and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimators import entropy_from_counts
+from repro.data.column_store import ColumnStore
+from repro.exceptions import SchemaError
+
+__all__ = ["AttributeProfile", "describe_store", "profile_attribute"]
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Summary statistics of one attribute.
+
+    Attributes
+    ----------
+    attribute:
+        Name.
+    support_size:
+        Declared domain size ``u_α``.
+    observed_values:
+        Distinct values actually present in the data (≤ support_size).
+    entropy:
+        Exact empirical entropy in bits.
+    max_entropy:
+        ``log2(support_size)`` — the ceiling for this domain.
+    top_share:
+        Fraction of records carrying the most frequent value.
+    top_code:
+        The code of that value (decode with the dataset's encoder).
+    """
+
+    attribute: str
+    support_size: int
+    observed_values: int
+    entropy: float
+    max_entropy: float
+    top_share: float
+    top_code: int
+
+    @property
+    def normalized_entropy(self) -> float:
+        """``entropy / max_entropy`` in [0, 1] (0 for a 1-value domain)."""
+        if self.max_entropy == 0.0:
+            return 0.0
+        return self.entropy / self.max_entropy
+
+
+def profile_attribute(store: ColumnStore, attribute: str) -> AttributeProfile:
+    """Profile one attribute of ``store`` (one full column scan)."""
+    if attribute not in store:
+        raise SchemaError(f"unknown attribute {attribute!r}")
+    counts = store.value_counts(attribute)
+    total = int(counts.sum())
+    support = store.support_size(attribute)
+    top_code = int(counts.argmax()) if total else 0
+    return AttributeProfile(
+        attribute=attribute,
+        support_size=support,
+        observed_values=int((counts > 0).sum()),
+        entropy=entropy_from_counts(counts, total=total),
+        max_entropy=float(np.log2(support)) if support > 1 else 0.0,
+        top_share=float(counts[top_code]) / total if total else 0.0,
+        top_code=top_code,
+    )
+
+
+def describe_store(
+    store: ColumnStore, *, sort_by: str = "entropy"
+) -> list[AttributeProfile]:
+    """Profile every attribute; sort by ``entropy`` (desc) or ``name``."""
+    if sort_by not in ("entropy", "name"):
+        raise SchemaError(f"sort_by must be 'entropy' or 'name', got {sort_by!r}")
+    profiles = [profile_attribute(store, name) for name in store.attributes]
+    if sort_by == "entropy":
+        profiles.sort(key=lambda p: (-p.entropy, p.attribute))
+    else:
+        profiles.sort(key=lambda p: p.attribute)
+    return profiles

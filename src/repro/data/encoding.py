@@ -1,0 +1,117 @@
+"""Dense categorical encoding (the paper's one-to-one preprocessing match).
+
+Section 2.1 of the paper assumes every attribute's values "fall into the
+range ``[1, u_alpha]``, which can be easily handled by a simple one-to-one
+match preprocessing". This module is that preprocessing: it maps arbitrary
+hashable raw values (strings, floats, ints, ``None``) onto the dense integer
+codes a :class:`~repro.data.column_store.ColumnStore` requires, and remembers
+the mapping so codes can be decoded back to raw values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.column_store import ColumnStore
+from repro.exceptions import EncodingError
+
+__all__ = ["CategoricalEncoder", "encode_column", "encode_table"]
+
+
+def encode_column(values: Sequence[object] | np.ndarray) -> tuple[np.ndarray, list[object]]:
+    """Encode one column of raw values into dense integer codes.
+
+    Values are assigned codes in order of first appearance, which keeps the
+    encoding deterministic for a fixed input sequence.
+
+    Returns
+    -------
+    (codes, vocabulary):
+        ``codes`` is an int64 array with ``codes[r]`` the code of row ``r``;
+        ``vocabulary[i]`` is the raw value assigned code ``i``.
+
+    Raises
+    ------
+    EncodingError
+        If a value is unhashable.
+    """
+    mapping: dict[object, int] = {}
+    vocabulary: list[object] = []
+    codes = np.empty(len(values), dtype=np.int64)
+    for row, value in enumerate(values):
+        try:
+            code = mapping.get(value)
+        except TypeError as exc:
+            raise EncodingError(
+                f"unhashable value at row {row}: {value!r}"
+            ) from exc
+        if code is None:
+            code = len(vocabulary)
+            mapping[value] = code
+            vocabulary.append(value)
+        codes[row] = code
+    return codes, vocabulary
+
+
+@dataclass
+class CategoricalEncoder:
+    """Stateful encoder for a multi-attribute table.
+
+    Use :meth:`fit_transform` to build a :class:`ColumnStore` from raw
+    columns, then :meth:`decode` to translate codes back to raw values
+    (e.g. when presenting query answers to a user).
+
+    Attributes
+    ----------
+    vocabularies:
+        ``{attribute: [raw value for code 0, code 1, ...]}`` for every
+        attribute seen by :meth:`fit_transform`.
+    """
+
+    vocabularies: dict[str, list[object]] = field(default_factory=dict)
+
+    def fit_transform(
+        self, table: Mapping[str, Sequence[object] | np.ndarray]
+    ) -> ColumnStore:
+        """Encode every column of ``table`` and return the resulting store."""
+        encoded: dict[str, np.ndarray] = {}
+        for name, values in table.items():
+            codes, vocabulary = encode_column(values)
+            self.vocabularies[name] = vocabulary
+            encoded[name] = codes
+        return ColumnStore(encoded)
+
+    def decode(self, attribute: str, codes: Iterable[int]) -> list[object]:
+        """Translate integer codes of ``attribute`` back to raw values."""
+        try:
+            vocabulary = self.vocabularies[attribute]
+        except KeyError:
+            raise EncodingError(
+                f"attribute {attribute!r} was never encoded by this encoder"
+            ) from None
+        out: list[object] = []
+        for code in codes:
+            code = int(code)
+            if not 0 <= code < len(vocabulary):
+                raise EncodingError(
+                    f"code {code} out of range for attribute {attribute!r}"
+                    f" (support size {len(vocabulary)})"
+                )
+            out.append(vocabulary[code])
+        return out
+
+    def decode_value(self, attribute: str, code: int) -> object:
+        """Translate a single code of ``attribute`` back to its raw value."""
+        return self.decode(attribute, [code])[0]
+
+
+def encode_table(
+    table: Mapping[str, Sequence[object] | np.ndarray]
+) -> tuple[ColumnStore, CategoricalEncoder]:
+    """Convenience wrapper: encode ``table`` and return store and encoder."""
+    encoder = CategoricalEncoder()
+    store = encoder.fit_transform(table)
+    return store, encoder

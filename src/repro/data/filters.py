@@ -1,0 +1,64 @@
+"""Column pre-filters applied before querying.
+
+Section 6.1 of the paper: "we remove columns with a too large support size,
+since they are usually not the preferred attributes for downstream data
+mining tasks. In our experiment, we eliminate columns with a support size
+larger than 1000." This module implements that preprocessing step plus a
+couple of closely related hygiene filters that real census extracts need.
+"""
+
+from __future__ import annotations
+
+from repro.data.column_store import ColumnStore
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "PAPER_MAX_SUPPORT",
+    "drop_high_support_columns",
+    "drop_constant_columns",
+]
+
+#: The support-size cutoff used throughout the paper's evaluation.
+PAPER_MAX_SUPPORT = 1000
+
+
+def drop_high_support_columns(
+    store: ColumnStore, max_support: int = PAPER_MAX_SUPPORT
+) -> ColumnStore:
+    """Return a store without columns whose support size exceeds ``max_support``.
+
+    Mirrors the paper's evaluation preprocessing (cutoff 1000). If every
+    column would be removed the original cutoff was clearly inappropriate
+    for this dataset, so a :class:`~repro.exceptions.ParameterError` is
+    raised instead of returning an unusable empty store.
+    """
+    if max_support < 1:
+        raise ParameterError(f"max_support must be >= 1, got {max_support}")
+    kept = [
+        name for name in store.attributes if store.support_size(name) <= max_support
+    ]
+    if not kept:
+        raise ParameterError(
+            f"all {store.num_attributes} columns exceed support size {max_support}"
+        )
+    if len(kept) == store.num_attributes:
+        return store
+    return store.select(kept)
+
+
+def drop_constant_columns(store: ColumnStore) -> ColumnStore:
+    """Return a store without columns that take a single value on the data.
+
+    Constant columns have empirical entropy exactly 0 and mutual
+    information exactly 0 against any target; dropping them is a safe,
+    common preprocessing step. If *every* column is constant the store is
+    returned unchanged (queries then trivially return zero scores).
+    """
+    kept = [
+        name
+        for name in store.attributes
+        if int((store.value_counts(name) > 0).sum()) > 1
+    ]
+    if not kept or len(kept) == store.num_attributes:
+        return store
+    return store.select(kept)

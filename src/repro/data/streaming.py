@@ -1,0 +1,166 @@
+"""Streaming (out-of-core) count accumulation for very large CSV files.
+
+The paper's datasets run to 33.7M rows; a laptop-friendly library should
+still compute exact scores when the encoded table does not fit memory.
+:class:`StreamingCounts` makes one pass over a CSV in bounded memory,
+maintaining per-attribute value counts (and, optionally, pairwise joint
+counts against one designated target attribute), from which exact
+empirical entropies and mutual informations follow directly.
+
+This deliberately trades the *sampling* machinery for sequential
+streaming: it answers the "Exact" side of the paper's comparison for
+datasets where even materialising the encoded columns is unattractive.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.estimators import entropy_from_counts
+from repro.exceptions import DataFormatError, ParameterError, SchemaError
+
+__all__ = ["StreamingCounts", "stream_csv_counts"]
+
+
+class StreamingCounts:
+    """Value (and optional pair) counts accumulated row by row.
+
+    Parameters
+    ----------
+    attributes:
+        Attribute names, in file order.
+    target:
+        Optional attribute against which joint counts are kept for every
+        other attribute (enables streaming mutual information).
+    """
+
+    def __init__(self, attributes: list[str], *, target: str | None = None) -> None:
+        if not attributes:
+            raise ParameterError("need at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise ParameterError("attribute names must be unique")
+        if target is not None and target not in attributes:
+            raise SchemaError(f"target {target!r} not among the attributes")
+        self._attributes = list(attributes)
+        self._target = target
+        self._rows = 0
+        self._marginals: dict[str, Counter] = {a: Counter() for a in attributes}
+        self._joints: dict[str, Counter] | None = None
+        if target is not None:
+            self._joints = {a: Counter() for a in attributes if a != target}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Rows consumed so far."""
+        return self._rows
+
+    @property
+    def attributes(self) -> list[str]:
+        """The tracked attribute names."""
+        return list(self._attributes)
+
+    def consume(self, row: list[object]) -> None:
+        """Add one record (values aligned with ``attributes``)."""
+        if len(row) != len(self._attributes):
+            raise ParameterError(
+                f"row has {len(row)} fields, expected {len(self._attributes)}"
+            )
+        values = dict(zip(self._attributes, row))
+        for name, value in values.items():
+            self._marginals[name][value] += 1
+        if self._joints is not None:
+            assert self._target is not None
+            target_value = values[self._target]
+            for name, counter in self._joints.items():
+                counter[(target_value, values[name])] += 1
+        self._rows += 1
+
+    # ------------------------------------------------------------------
+    def support_size(self, attribute: str) -> int:
+        """Distinct values of ``attribute`` seen so far."""
+        if attribute not in self._marginals:
+            raise SchemaError(f"unknown attribute {attribute!r}")
+        return len(self._marginals[attribute])
+
+    def _counts(self, attribute: str) -> np.ndarray:
+        if attribute not in self._marginals:
+            raise SchemaError(f"unknown attribute {attribute!r}")
+        counter = self._marginals[attribute]
+        if not counter:
+            return np.zeros(0, dtype=np.int64)
+        return np.fromiter(counter.values(), dtype=np.int64, count=len(counter))
+
+    def entropy(self, attribute: str) -> float:
+        """Exact empirical entropy (bits) of one attribute so far."""
+        return entropy_from_counts(self._counts(attribute))
+
+    def entropies(self) -> dict[str, float]:
+        """Exact empirical entropies of all attributes."""
+        return {name: self.entropy(name) for name in self._attributes}
+
+    def mutual_information(self, attribute: str) -> float:
+        """Exact empirical MI between the target and ``attribute``."""
+        if self._joints is None:
+            raise ParameterError(
+                "no target attribute was configured; pass target= at"
+                " construction to enable streaming mutual information"
+            )
+        assert self._target is not None
+        if attribute == self._target:
+            raise SchemaError("MI of the target with itself is its entropy")
+        if attribute not in self._joints:
+            raise SchemaError(f"unknown attribute {attribute!r}")
+        joint_counter = self._joints[attribute]
+        joint = np.fromiter(
+            joint_counter.values(), dtype=np.int64, count=len(joint_counter)
+        )
+        h_joint = entropy_from_counts(joint)
+        h_target = self.entropy(self._target)
+        h_attr = self.entropy(attribute)
+        return max(0.0, h_target + h_attr - h_joint)
+
+    def mutual_informations(self) -> dict[str, float]:
+        """Exact MI against the target for every other attribute."""
+        if self._joints is None:
+            raise ParameterError("no target attribute was configured")
+        return {name: self.mutual_information(name) for name in self._joints}
+
+
+def stream_csv_counts(
+    path: str | Path,
+    *,
+    target: str | None = None,
+    delimiter: str = ",",
+    max_rows: int | None = None,
+) -> StreamingCounts:
+    """One bounded-memory pass over a headered CSV.
+
+    Returns the filled :class:`StreamingCounts`; memory use is
+    proportional to the number of *distinct* values (and distinct
+    target-pairs), never to the number of rows.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataFormatError(f"no such file: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = [name.strip() for name in next(reader)]
+        except StopIteration:
+            raise DataFormatError(f"{path} is empty") from None
+        counts = StreamingCounts(header, target=target)
+        for row_number, row in enumerate(reader):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            if len(row) != len(header):
+                raise DataFormatError(
+                    f"{path}: row {row_number + 2} has {len(row)} fields,"
+                    f" expected {len(header)}"
+                )
+            counts.consume(row)
+    return counts

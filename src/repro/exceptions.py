@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class SchemaError(ReproError):
+    """A dataset schema is inconsistent or an attribute is unknown.
+
+    Raised, for example, when two columns of different lengths are combined
+    into a :class:`~repro.data.column_store.ColumnStore`, or when a query
+    names an attribute that does not exist.
+    """
+
+
+class EncodingError(ReproError):
+    """A column could not be encoded into the dense ``[0, u)`` integer range."""
+
+
+class ParameterError(ReproError):
+    """A query or generator parameter is outside its documented domain.
+
+    Examples: ``epsilon`` outside ``(0, 1)``, ``k < 1``, a negative
+    threshold, or a failure probability outside ``(0, 1)``.
+    """
+
+
+class DataFormatError(ReproError):
+    """An input file (CSV or cached ``.npz``) could not be parsed."""

@@ -1,0 +1,78 @@
+"""Experiment harness: accuracy metrics, runners, and the figure registry.
+
+Reproduces the paper's evaluation (Section 6): Table 2 and Figures 1–12,
+over the synthetic dataset analogues of :mod:`repro.synth`. The pytest
+benchmarks under ``benchmarks/`` and the CLI (``repro figure fig1``) both
+drive this package.
+"""
+
+from repro.experiments.accuracy import (
+    FilterAccuracy,
+    check_filter_guarantee,
+    check_top_k_guarantee,
+    filter_precision_recall,
+    relative_error,
+    top_k_accuracy,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    FigurePoint,
+    FigureRun,
+    FigureSpec,
+    run_figure,
+    run_table2,
+)
+from repro.experiments.latex import figure_latex, table2_latex
+from repro.experiments.markdown import figure_markdown, table2_markdown
+from repro.experiments.persistence import load_figure_run, save_figure_run
+from repro.experiments.plotting import figure_svg, save_figure_svg
+from repro.experiments.regression import PointDelta, RunComparison, compare_runs
+from repro.experiments.report import format_table, render_figure, render_table2
+from repro.experiments.summary import FigureSummary, summarize_run
+from repro.experiments.runner import (
+    ALGORITHMS,
+    GroundTruthCache,
+    QueryOutcome,
+    run_entropy_filter,
+    run_entropy_top_k,
+    run_mi_filter,
+    run_mi_top_k,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "FIGURES",
+    "FigurePoint",
+    "FigureRun",
+    "FigureSpec",
+    "FigureSummary",
+    "FilterAccuracy",
+    "GroundTruthCache",
+    "PointDelta",
+    "QueryOutcome",
+    "RunComparison",
+    "check_filter_guarantee",
+    "check_top_k_guarantee",
+    "compare_runs",
+    "figure_latex",
+    "figure_markdown",
+    "figure_svg",
+    "filter_precision_recall",
+    "format_table",
+    "load_figure_run",
+    "relative_error",
+    "render_figure",
+    "render_table2",
+    "run_entropy_filter",
+    "save_figure_run",
+    "save_figure_svg",
+    "run_entropy_top_k",
+    "run_figure",
+    "run_mi_filter",
+    "run_mi_top_k",
+    "run_table2",
+    "summarize_run",
+    "table2_latex",
+    "table2_markdown",
+    "top_k_accuracy",
+]

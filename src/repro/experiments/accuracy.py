@@ -1,0 +1,202 @@
+"""Accuracy metrics comparing query answers against exact ground truth.
+
+The paper reports a single "accuracy" number per query (Figures 2, 4, 6, 8
+and the (b) panels of Figures 9–12). We implement:
+
+* :func:`top_k_accuracy` — the fraction of the returned attributes that
+  belong to the exact top-k set (what the paper plots for top-k queries),
+  plus a tie-tolerant variant that treats attributes whose exact score
+  equals the exact k-th score as interchangeable;
+* :func:`filter_precision_recall` — precision/recall/F1 of the returned
+  set against the exact answer set (the paper's filtering "accuracy" is
+  recall of the exact set: "correctly reports all the attributes");
+* Definition 5 / Definition 6 compliance checkers used by the statistical
+  guarantee tests — these verify the *approximation contract* rather than
+  set equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.results import FilterResult, TopKResult
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "FilterAccuracy",
+    "top_k_accuracy",
+    "filter_precision_recall",
+    "check_top_k_guarantee",
+    "check_filter_guarantee",
+    "relative_error",
+]
+
+
+def _ranked(scores: dict[str, float]) -> list[str]:
+    return sorted(scores, key=lambda a: (-scores[a], a))
+
+
+def top_k_accuracy(
+    returned: list[str],
+    exact_scores: dict[str, float],
+    k: int,
+    *,
+    tie_tolerance: float = 0.0,
+) -> float:
+    """Fraction of returned attributes that belong to the exact top-k set.
+
+    Parameters
+    ----------
+    returned:
+        The attributes a query returned (at most ``k``).
+    exact_scores:
+        Exact scores of *all* candidate attributes.
+    k:
+        The query's ``k``.
+    tie_tolerance:
+        Attributes whose exact score is within ``tie_tolerance`` of the
+        exact k-th largest score count as correct even if outside the
+        literal top-k set — with near-ties the exact set is arbitrary among
+        the tied attributes, and any of them is a defensible answer.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if not exact_scores:
+        raise ParameterError("exact_scores must be non-empty")
+    unknown = [a for a in returned if a not in exact_scores]
+    if unknown:
+        raise ParameterError(f"returned attributes missing from scores: {unknown}")
+    k_effective = min(k, len(exact_scores))
+    ranking = _ranked(exact_scores)
+    top_set = set(ranking[:k_effective])
+    kth_score = exact_scores[ranking[k_effective - 1]]
+    hits = sum(
+        1
+        for a in returned
+        if a in top_set or exact_scores[a] >= kth_score - tie_tolerance
+    )
+    return hits / k_effective
+
+
+@dataclass(frozen=True)
+class FilterAccuracy:
+    """Precision/recall of a filtering answer against the exact answer set."""
+
+    precision: float
+    recall: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def filter_precision_recall(
+    returned: list[str],
+    exact_scores: dict[str, float],
+    threshold: float,
+) -> FilterAccuracy:
+    """Precision/recall of ``returned`` against ``{α : score(α) >= η}``.
+
+    Conventions for empty sets: precision is 1.0 when nothing was
+    returned; recall is 1.0 when the exact answer set is empty.
+    """
+    if not exact_scores:
+        raise ParameterError("exact_scores must be non-empty")
+    unknown = [a for a in returned if a not in exact_scores]
+    if unknown:
+        raise ParameterError(f"returned attributes missing from scores: {unknown}")
+    truth = {a for a, s in exact_scores.items() if s >= threshold}
+    got = set(returned)
+    tp = len(got & truth)
+    fp = len(got - truth)
+    fn = len(truth - got)
+    precision = 1.0 if not got else tp / len(got)
+    recall = 1.0 if not truth else tp / len(truth)
+    return FilterAccuracy(
+        precision=precision,
+        recall=recall,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+    )
+
+
+def check_top_k_guarantee(
+    result: TopKResult,
+    exact_scores: dict[str, float],
+    epsilon: float,
+    *,
+    slack: float = 1e-9,
+) -> list[str]:
+    """Verify the Definition 5 contract; return a list of violations.
+
+    Checks, for the returned attributes ``α'_1 ... α'_k`` (ordered) against
+    the exact ranking ``α*_1 ... α*_k``:
+
+    * (i) ``estimate(α'_i) >= (1 - ε) · score(α'_i)``
+    * (ii) ``score(α'_i) >= (1 - ε) · score(α*_i)``
+
+    An empty list means the answer satisfies the definition.
+    """
+    violations: list[str] = []
+    ranking = _ranked(exact_scores)
+    for index, estimate in enumerate(result.estimates):
+        name = estimate.attribute
+        exact = exact_scores[name]
+        if estimate.estimate < (1.0 - epsilon) * exact - slack:
+            violations.append(
+                f"(i) estimate of {name!r} = {estimate.estimate:.6f} <"
+                f" (1-ε)·{exact:.6f}"
+            )
+        if index < len(ranking):
+            star = exact_scores[ranking[index]]
+            if exact < (1.0 - epsilon) * star - slack:
+                violations.append(
+                    f"(ii) rank {index + 1}: score({name!r}) = {exact:.6f} <"
+                    f" (1-ε)·{star:.6f}"
+                )
+    return violations
+
+
+def check_filter_guarantee(
+    result: FilterResult,
+    exact_scores: dict[str, float],
+    epsilon: float,
+    *,
+    slack: float = 1e-9,
+) -> list[str]:
+    """Verify the Definition 6 contract; return a list of violations.
+
+    * every attribute with ``score >= (1 + ε)η`` must be returned;
+    * no attribute with ``score < (1 - ε)η`` may be returned;
+    * the band in between is unconstrained.
+    """
+    violations: list[str] = []
+    eta = result.threshold
+    answer = result.answer_set()
+    for name, score in exact_scores.items():
+        if score >= (1.0 + epsilon) * eta + slack and name not in answer:
+            violations.append(
+                f"missing {name!r}: score {score:.6f} >= (1+ε)η ="
+                f" {(1.0 + epsilon) * eta:.6f}"
+            )
+        if score < (1.0 - epsilon) * eta - slack and name in answer:
+            violations.append(
+                f"spurious {name!r}: score {score:.6f} < (1-ε)η ="
+                f" {(1.0 - epsilon) * eta:.6f}"
+            )
+    return violations
+
+
+def relative_error(estimate: float, exact: float) -> float:
+    """``|estimate - exact| / exact`` with the 0/0 convention of 0."""
+    if exact == 0.0:
+        return 0.0 if math.isclose(estimate, 0.0, abs_tol=1e-12) else math.inf
+    return abs(estimate - exact) / exact

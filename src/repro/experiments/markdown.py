@@ -1,0 +1,77 @@
+"""GitHub-flavoured-Markdown rendering of experiment results.
+
+The third output format next to text (:mod:`repro.experiments.report`)
+and LaTeX (:mod:`repro.experiments.latex`): pipe-table Markdown suitable
+for READMEs, issues, and pull-request descriptions.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import FigureRun
+
+__all__ = ["figure_markdown", "table2_markdown"]
+
+_METRICS = ("seconds", "cells_scanned", "accuracy")
+
+
+def _fmt(metric: str, point) -> str:
+    if metric == "seconds":
+        value = point.seconds
+        return f"{value:.2f} s" if value >= 1 else f"{value * 1000:.1f} ms"
+    if metric == "cells_scanned":
+        return f"{point.cells_scanned:,.0f}"
+    return f"{point.accuracy:.3f}"
+
+
+def figure_markdown(run: FigureRun, metric: str = "seconds") -> str:
+    """Render one figure run as Markdown tables (one per dataset).
+
+    Adds a SWOPE speedup column per baseline when the run includes
+    baselines, mirroring the text report.
+    """
+    if metric not in _METRICS:
+        raise ParameterError(f"unknown metric {metric!r}; expected one of {_METRICS}")
+    if not run.points:
+        raise ParameterError("figure run holds no measurements")
+    spec = run.spec
+    algos = list(spec.algorithms)
+    baselines = [a for a in algos if a != "swope"] if "swope" in algos else []
+    blocks = [f"### {spec.figure_id}: {spec.title} ({metric})", ""]
+    for dataset in run.datasets:
+        headers = [spec.x_label(), *algos]
+        if metric == "cells_scanned":
+            headers += [f"×{b}" for b in baselines]
+        blocks.append(f"**{dataset}**")
+        blocks.append("")
+        blocks.append("| " + " | ".join(headers) + " |")
+        blocks.append("|" + "---|" * len(headers))
+        for x in spec.x_values:
+            points = {
+                p.algorithm: p
+                for p in run.points
+                if p.dataset == dataset and p.x == float(x)
+            }
+            row = [f"{x:g}"] + [_fmt(metric, points[a]) for a in algos]
+            if metric == "cells_scanned":
+                ours = points["swope"].cells_scanned or 1.0
+                row += [
+                    f"{points[b].cells_scanned / ours:.1f}" for b in baselines
+                ]
+            blocks.append("| " + " | ".join(row) + " |")
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def table2_markdown(rows: list[dict[str, object]]) -> str:
+    """Render the Table 2 analogue as a Markdown table."""
+    lines = [
+        "| dataset | rows | columns | paper rows | paper columns |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['dataset']} | {row['rows']:,} | {row['columns']} |"
+            f" {row['paper_rows']:,} | {row['paper_columns']} |"
+        )
+    return "\n".join(lines)

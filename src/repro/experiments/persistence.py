@@ -1,0 +1,88 @@
+"""Save/load experiment results (JSON round trip).
+
+Figure runs are cheap to serialise and useful to keep: the reference
+numbers in EXPERIMENTS.md come from ``results/*.json`` written through
+this module, and regression comparisons (did a change alter a measured
+series?) can reload them without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import DataFormatError
+from repro.experiments.figures import FIGURES, FigurePoint, FigureRun
+
+__all__ = ["save_figure_run", "load_figure_run"]
+
+_FORMAT_VERSION = 1
+
+
+def save_figure_run(run: FigureRun, path: str | Path) -> None:
+    """Serialise a figure run (spec reference + all points) to JSON."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "figure": run.spec.figure_id,
+        "datasets": run.datasets,
+        "scale": run.scale,
+        "num_targets": run.num_targets,
+        "points": [
+            {
+                "dataset": p.dataset,
+                "x": p.x,
+                "algorithm": p.algorithm,
+                "seconds": p.seconds,
+                "cells_scanned": p.cells_scanned,
+                "sample_fraction": p.sample_fraction,
+                "accuracy": p.accuracy,
+                "extra": p.extra,
+            }
+            for p in run.points
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_figure_run(path: str | Path) -> FigureRun:
+    """Reload a figure run saved by :func:`save_figure_run`.
+
+    The spec is resolved from the in-code registry by figure id, so a
+    saved file from an older registry whose figure no longer exists (or a
+    malformed file) raises :class:`~repro.exceptions.DataFormatError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataFormatError(f"no such file: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise DataFormatError(f"{path}: unsupported result format")
+    figure_id = payload.get("figure")
+    if figure_id not in FIGURES:
+        raise DataFormatError(f"{path}: unknown figure {figure_id!r}")
+    try:
+        run = FigureRun(
+            spec=FIGURES[figure_id],
+            datasets=list(payload["datasets"]),
+            scale=float(payload["scale"]),
+            num_targets=int(payload["num_targets"]),
+        )
+        for raw in payload["points"]:
+            run.points.append(
+                FigurePoint(
+                    dataset=str(raw["dataset"]),
+                    x=float(raw["x"]),
+                    algorithm=str(raw["algorithm"]),
+                    seconds=float(raw["seconds"]),
+                    cells_scanned=float(raw["cells_scanned"]),
+                    sample_fraction=float(raw["sample_fraction"]),
+                    accuracy=float(raw["accuracy"]),
+                    extra=dict(raw.get("extra", {})),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataFormatError(f"{path}: malformed result payload: {exc}") from exc
+    return run

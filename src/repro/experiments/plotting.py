@@ -1,0 +1,238 @@
+"""Dependency-free SVG rendering of figure runs.
+
+The paper presents its evaluation as per-dataset line charts (log-scale
+query time over the sweep parameter, plus accuracy panels). matplotlib is
+not a dependency of this library, so this module writes standalone SVG
+directly: one panel per dataset, one polyline per algorithm, log or
+linear y axis, tick labels, and a legend. The output opens in any
+browser and diffs cleanly in version control.
+
+Entry points:
+
+* :func:`figure_svg` — render one :class:`~repro.experiments.figures.FigureRun`
+  metric ("seconds", "cells_scanned", or "accuracy") to an SVG string;
+* :func:`save_figure_svg` — same, to a file (used by
+  ``repro figure ... --svg out.svg``).
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import FigureRun
+
+__all__ = ["figure_svg", "save_figure_svg"]
+
+#: Stroke colours per algorithm (paper-ish: ours, competitor, exact).
+_COLORS = {
+    "swope": "#d62728",
+    "entropy_rank": "#1f77b4",
+    "exact": "#2ca02c",
+}
+_FALLBACK_COLORS = ("#9467bd", "#8c564b", "#e377c2", "#7f7f7f")
+
+_PANEL_WIDTH = 320
+_PANEL_HEIGHT = 240
+_MARGIN_LEFT = 58
+_MARGIN_BOTTOM = 42
+_MARGIN_TOP = 30
+_MARGIN_RIGHT = 12
+
+_METRICS = ("seconds", "cells_scanned", "accuracy")
+
+
+def _color(algorithm: str, index: int) -> str:
+    return _COLORS.get(algorithm, _FALLBACK_COLORS[index % len(_FALLBACK_COLORS)])
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e6:
+        return f"{value / 1e6:g}M"
+    if magnitude >= 1e3:
+        return f"{value / 1e3:g}k"
+    if magnitude >= 0.01:
+        return f"{value:g}"
+    return f"{value:.0e}"
+
+
+def _log_ticks(lo: float, hi: float) -> list[float]:
+    first = math.floor(math.log10(lo))
+    last = math.ceil(math.log10(hi))
+    return [10.0**e for e in range(first, last + 1)]
+
+
+def _linear_ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    if hi <= lo:
+        return [lo]
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+class _Panel:
+    """One dataset's chart panel; accumulates SVG elements."""
+
+    def __init__(
+        self,
+        origin_x: float,
+        title: str,
+        x_values: list[float],
+        y_range: tuple[float, float],
+        log_y: bool,
+    ) -> None:
+        self.ox = origin_x
+        self.title = title
+        self.xs = x_values
+        self.lo, self.hi = y_range
+        self.log_y = log_y
+        self.elements: list[str] = []
+        self.plot_w = _PANEL_WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+        self.plot_h = _PANEL_HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+    def x_pos(self, x: float) -> float:
+        # Sweep values are plotted at even spacing (the paper's figures
+        # treat k and eta grids categorically).
+        index = self.xs.index(x)
+        if len(self.xs) == 1:
+            frac = 0.5
+        else:
+            frac = index / (len(self.xs) - 1)
+        return self.ox + _MARGIN_LEFT + frac * self.plot_w
+
+    def y_pos(self, y: float) -> float:
+        if self.log_y:
+            frac = (math.log10(y) - math.log10(self.lo)) / (
+                math.log10(self.hi) - math.log10(self.lo)
+            )
+        else:
+            frac = (y - self.lo) / (self.hi - self.lo) if self.hi > self.lo else 0.5
+        frac = min(1.0, max(0.0, frac))
+        return _MARGIN_TOP + (1.0 - frac) * self.plot_h
+
+    def draw_frame(self) -> None:
+        left = self.ox + _MARGIN_LEFT
+        right = self.ox + _PANEL_WIDTH - _MARGIN_RIGHT
+        top = _MARGIN_TOP
+        bottom = _MARGIN_TOP + self.plot_h
+        self.elements.append(
+            f'<rect x="{left}" y="{top}" width="{right - left}"'
+            f' height="{bottom - top}" fill="none" stroke="#444"/>'
+        )
+        self.elements.append(
+            f'<text x="{(left + right) / 2}" y="{top - 10}" text-anchor="middle"'
+            f' font-size="13" font-weight="bold">{self.title}</text>'
+        )
+        ticks = (
+            _log_ticks(self.lo, self.hi)
+            if self.log_y
+            else _linear_ticks(self.lo, self.hi)
+        )
+        for tick in ticks:
+            if not self.lo <= tick <= self.hi:
+                continue
+            y = self.y_pos(tick)
+            self.elements.append(
+                f'<line x1="{left}" y1="{y}" x2="{right}" y2="{y}"'
+                f' stroke="#ddd" stroke-width="0.7"/>'
+            )
+            self.elements.append(
+                f'<text x="{left - 5}" y="{y + 4}" text-anchor="end"'
+                f' font-size="10">{_format_tick(tick)}</text>'
+            )
+        for x in self.xs:
+            px = self.x_pos(x)
+            self.elements.append(
+                f'<text x="{px}" y="{bottom + 16}" text-anchor="middle"'
+                f' font-size="10">{x:g}</text>'
+            )
+
+    def draw_series(self, points: list[tuple[float, float]], color: str) -> None:
+        coords = " ".join(
+            f"{self.x_pos(x):.1f},{self.y_pos(y):.1f}" for x, y in points
+        )
+        self.elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}"'
+            f' stroke-width="2"/>'
+        )
+        for x, y in points:
+            self.elements.append(
+                f'<circle cx="{self.x_pos(x):.1f}" cy="{self.y_pos(y):.1f}"'
+                f' r="3" fill="{color}"/>'
+            )
+
+
+def figure_svg(run: FigureRun, metric: str = "seconds") -> str:
+    """Render one figure run as a standalone SVG document string.
+
+    Parameters
+    ----------
+    run:
+        An executed figure.
+    metric:
+        ``"seconds"`` or ``"cells_scanned"`` (log y-axis) or
+        ``"accuracy"`` (linear y-axis in [0, 1.05]).
+    """
+    if metric not in _METRICS:
+        raise ParameterError(f"unknown metric {metric!r}; expected one of {_METRICS}")
+    if not run.points:
+        raise ParameterError("figure run holds no measurements")
+    log_y = metric != "accuracy"
+    values = [getattr(p, metric) for p in run.points]
+    if log_y:
+        positive = [v for v in values if v > 0]
+        if not positive:
+            raise ParameterError(f"no positive values to plot for {metric!r}")
+        lo, hi = min(positive) / 1.5, max(positive) * 1.5
+    else:
+        lo, hi = 0.0, 1.05
+    x_values = [float(x) for x in run.spec.x_values]
+    width = _PANEL_WIDTH * len(run.datasets)
+    height = _PANEL_HEIGHT + 34  # room for the legend row
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}"'
+        f' height="{height}" font-family="sans-serif">',
+        f'<text x="{width / 2}" y="14" text-anchor="middle" font-size="13">'
+        f"{run.spec.figure_id}: {run.spec.title} — {metric}</text>",
+    ]
+    for panel_index, dataset in enumerate(run.datasets):
+        panel = _Panel(
+            panel_index * _PANEL_WIDTH, dataset, x_values, (lo, hi), log_y
+        )
+        panel.draw_frame()
+        for algo_index, algorithm in enumerate(run.spec.algorithms):
+            series = [
+                (x, y if not log_y else max(y, lo))
+                for x, y in run.series(dataset, algorithm, metric)
+            ]
+            if series:
+                panel.draw_series(series, _color(algorithm, algo_index))
+        parts.extend(panel.elements)
+        parts.append(
+            f'<text x="{panel_index * _PANEL_WIDTH + _PANEL_WIDTH / 2}"'
+            f' y="{_PANEL_HEIGHT - 4}" text-anchor="middle" font-size="11">'
+            f"{run.spec.x_label()}</text>"
+        )
+    legend_y = _PANEL_HEIGHT + 18
+    legend_x = 20.0
+    for algo_index, algorithm in enumerate(run.spec.algorithms):
+        color = _color(algorithm, algo_index)
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 22}"'
+            f' y2="{legend_y}" stroke="{color}" stroke-width="3"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 27}" y="{legend_y + 4}" font-size="12">'
+            f"{algorithm}</text>"
+        )
+        legend_x += 40 + 8 * len(algorithm)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_figure_svg(run: FigureRun, path: str | Path, metric: str = "seconds") -> None:
+    """Write :func:`figure_svg` output to ``path``."""
+    Path(path).write_text(figure_svg(run, metric))

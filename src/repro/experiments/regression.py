@@ -1,0 +1,143 @@
+"""Compare two saved figure runs (regression checking).
+
+Reference numbers live under ``results/``; after changing the algorithms
+or the datasets, re-running a figure and diffing against the stored
+reference answers "did anything move?" without eyeballing tables. Used by
+``repro compare old.json new.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import FigureRun
+
+__all__ = ["PointDelta", "RunComparison", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class PointDelta:
+    """Change of one (dataset, x, algorithm) measurement between runs."""
+
+    dataset: str
+    x: float
+    algorithm: str
+    cells_ratio: float  # new / old
+    seconds_ratio: float  # new / old
+    accuracy_delta: float  # new - old
+
+    def is_regression(
+        self, *, cells_tolerance: float, accuracy_tolerance: float
+    ) -> bool:
+        """Whether this point moved beyond the given tolerances.
+
+        A *regression* is more cells scanned (beyond tolerance) or lower
+        accuracy; improvements are never flagged. Wall-clock is reported
+        but not gated (too machine-noisy).
+        """
+        worse_cost = self.cells_ratio > 1.0 + cells_tolerance
+        worse_accuracy = self.accuracy_delta < -accuracy_tolerance
+        return worse_cost or worse_accuracy
+
+
+@dataclass
+class RunComparison:
+    """Full comparison of two runs of the same figure."""
+
+    figure_id: str
+    deltas: list[PointDelta]
+    cells_tolerance: float
+    accuracy_tolerance: float
+
+    @property
+    def regressions(self) -> list[PointDelta]:
+        """Points that got materially worse."""
+        return [
+            d
+            for d in self.deltas
+            if d.is_regression(
+                cells_tolerance=self.cells_tolerance,
+                accuracy_tolerance=self.accuracy_tolerance,
+            )
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed beyond tolerance."""
+        return not self.regressions
+
+    def summary(self) -> str:
+        """One-paragraph human summary."""
+        if self.ok:
+            worst = max((d.cells_ratio for d in self.deltas), default=1.0)
+            return (
+                f"{self.figure_id}: OK — {len(self.deltas)} points compared,"
+                f" worst cells ratio {worst:.2f}x, no regressions beyond"
+                f" {self.cells_tolerance:.0%} cost / "
+                f"{self.accuracy_tolerance:.2f} accuracy."
+            )
+        lines = [
+            f"{self.figure_id}: {len(self.regressions)} regression(s) out of"
+            f" {len(self.deltas)} points:"
+        ]
+        for d in self.regressions:
+            lines.append(
+                f"  {d.dataset} x={d.x:g} {d.algorithm}:"
+                f" cells x{d.cells_ratio:.2f},"
+                f" accuracy {d.accuracy_delta:+.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_runs(
+    reference: FigureRun,
+    candidate: FigureRun,
+    *,
+    cells_tolerance: float = 0.25,
+    accuracy_tolerance: float = 0.02,
+) -> RunComparison:
+    """Compare ``candidate`` against ``reference`` point by point.
+
+    Both runs must be of the same figure; only (dataset, x, algorithm)
+    points present in *both* are compared (so a candidate run over a
+    dataset subset still works). Raises when the runs share no points.
+    """
+    if reference.spec.figure_id != candidate.spec.figure_id:
+        raise ParameterError(
+            f"cannot compare {reference.spec.figure_id} against"
+            f" {candidate.spec.figure_id}"
+        )
+    ref_index = {
+        (p.dataset, p.x, p.algorithm): p for p in reference.points
+    }
+    deltas: list[PointDelta] = []
+    for point in candidate.points:
+        key = (point.dataset, point.x, point.algorithm)
+        ref = ref_index.get(key)
+        if ref is None:
+            continue
+        deltas.append(
+            PointDelta(
+                dataset=point.dataset,
+                x=point.x,
+                algorithm=point.algorithm,
+                cells_ratio=(
+                    point.cells_scanned / ref.cells_scanned
+                    if ref.cells_scanned
+                    else float("inf")
+                ),
+                seconds_ratio=(
+                    point.seconds / ref.seconds if ref.seconds else float("inf")
+                ),
+                accuracy_delta=point.accuracy - ref.accuracy,
+            )
+        )
+    if not deltas:
+        raise ParameterError("the two runs share no (dataset, x, algorithm) points")
+    return RunComparison(
+        figure_id=reference.spec.figure_id,
+        deltas=deltas,
+        cells_tolerance=cells_tolerance,
+        accuracy_tolerance=accuracy_tolerance,
+    )

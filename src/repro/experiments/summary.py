@@ -1,0 +1,76 @@
+"""Headline statistics of a figure run (speedup ranges, accuracy floor).
+
+`scripts/run_experiments.py` prints one of these per figure; EXPERIMENTS.md
+quotes them. Factored into the package so tests pin the semantics and
+downstream users can compute the same numbers programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import FigureRun
+
+__all__ = ["FigureSummary", "summarize_run"]
+
+
+@dataclass(frozen=True)
+class FigureSummary:
+    """Headline numbers of one figure run.
+
+    Attributes
+    ----------
+    figure_id:
+        Which figure.
+    speedups:
+        ``{baseline: (min, max)}`` of the SWOPE cells-scanned speedup
+        over each non-SWOPE algorithm, across all (dataset, x) points.
+        Empty when the figure runs SWOPE only (the ε sweeps).
+    swope_accuracy:
+        ``(min, max)`` accuracy of the SWOPE points.
+    cost_range:
+        ``(min, max)`` cells scanned by SWOPE across the sweep — the
+        dynamic range of the ε trade-off for the sweep figures.
+    """
+
+    figure_id: str
+    speedups: dict[str, tuple[float, float]]
+    swope_accuracy: tuple[float, float]
+    cost_range: tuple[float, float]
+
+    def line(self) -> str:
+        """One-line human rendering (what run_experiments.py prints)."""
+        parts = [self.figure_id]
+        for baseline, (lo, hi) in sorted(self.speedups.items()):
+            parts.append(f"vs {baseline}: {lo:.1f}-{hi:.1f}x")
+        lo, hi = self.swope_accuracy
+        parts.append(f"accuracy {lo:.3f}-{hi:.3f}")
+        return " | ".join(parts)
+
+
+def summarize_run(run: FigureRun) -> FigureSummary:
+    """Compute the headline statistics of one executed figure."""
+    swope_points = [p for p in run.points if p.algorithm == "swope"]
+    if not swope_points:
+        raise ParameterError(
+            f"figure {run.spec.figure_id!r} has no SWOPE measurements"
+        )
+    speedups: dict[str, tuple[float, float]] = {}
+    for baseline in run.spec.algorithms:
+        if baseline == "swope":
+            continue
+        ratios = [
+            run.speedup(dataset, baseline, x)
+            for dataset in run.datasets
+            for x in run.spec.x_values
+        ]
+        speedups[baseline] = (min(ratios), max(ratios))
+    accuracies = [p.accuracy for p in swope_points]
+    costs = [p.cells_scanned for p in swope_points]
+    return FigureSummary(
+        figure_id=run.spec.figure_id,
+        speedups=speedups,
+        swope_accuracy=(min(accuracies), max(accuracies)),
+        cost_range=(min(costs), max(costs)),
+    )

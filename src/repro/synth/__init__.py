@@ -1,0 +1,52 @@
+"""Synthetic-data substrate: distributions, correlations, dataset registry.
+
+Replaces the paper's (offline-unavailable) public census datasets with
+deterministic analogues whose entropy spectrum, support sizes, top-k gap
+structure, and mutual-information landscape are engineered to exercise the
+same algorithmic behaviour — see DESIGN.md Section 3 for the substitution
+argument.
+"""
+
+from repro.synth.correlation import (
+    analytic_noisy_copy_mi,
+    noisy_copy,
+    retention_for_mi,
+)
+from repro.synth.datasets import (
+    DATASETS,
+    ColumnPlan,
+    DatasetPlan,
+    SyntheticDataset,
+    build_plan,
+    dataset_summary,
+    generate,
+    load_dataset,
+)
+from repro.synth.distributions import (
+    geometric_probabilities,
+    head_mixture_probabilities,
+    probabilities_with_entropy,
+    sample_categorical,
+    uniform_probabilities,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "DATASETS",
+    "ColumnPlan",
+    "DatasetPlan",
+    "SyntheticDataset",
+    "analytic_noisy_copy_mi",
+    "build_plan",
+    "dataset_summary",
+    "generate",
+    "geometric_probabilities",
+    "head_mixture_probabilities",
+    "load_dataset",
+    "noisy_copy",
+    "probabilities_with_entropy",
+    "retention_for_mi",
+    "sample_categorical",
+    "uniform_probabilities",
+    "zipf_probabilities",
+]

@@ -1,0 +1,162 @@
+"""Tests for the accuracy metrics of :mod:`repro.experiments.accuracy`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+from repro.exceptions import ParameterError
+from repro.experiments.accuracy import (
+    check_filter_guarantee,
+    check_top_k_guarantee,
+    filter_precision_recall,
+    relative_error,
+    top_k_accuracy,
+)
+
+SCORES = {"a": 4.0, "b": 3.0, "c": 2.0, "d": 1.0}
+
+
+class TestTopKAccuracy:
+    def test_perfect_answer(self):
+        assert top_k_accuracy(["a", "b"], SCORES, 2) == 1.0
+
+    def test_order_does_not_matter(self):
+        assert top_k_accuracy(["b", "a"], SCORES, 2) == 1.0
+
+    def test_partial_answer(self):
+        assert top_k_accuracy(["a", "c"], SCORES, 2) == 0.5
+
+    def test_completely_wrong(self):
+        assert top_k_accuracy(["c", "d"], SCORES, 2) == 0.0
+
+    def test_tie_tolerance(self):
+        scores = {"a": 2.0, "b": 1.999, "c": 0.5}
+        assert top_k_accuracy(["b"], scores, 1) == 0.0
+        assert top_k_accuracy(["b"], scores, 1, tie_tolerance=0.01) == 1.0
+
+    def test_k_clamped_to_candidates(self):
+        assert top_k_accuracy(["a", "b", "c", "d"], SCORES, 10) == 1.0
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ParameterError):
+            top_k_accuracy(["zzz"], SCORES, 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            top_k_accuracy(["a"], SCORES, 0)
+
+    def test_empty_scores_rejected(self):
+        with pytest.raises(ParameterError):
+            top_k_accuracy([], {}, 1)
+
+
+class TestFilterPrecisionRecall:
+    def test_perfect(self):
+        quality = filter_precision_recall(["a", "b"], SCORES, 3.0)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_false_positive(self):
+        quality = filter_precision_recall(["a", "b", "c"], SCORES, 3.0)
+        assert quality.precision == pytest.approx(2 / 3)
+        assert quality.recall == 1.0
+        assert quality.false_positives == 1
+
+    def test_false_negative(self):
+        quality = filter_precision_recall(["a"], SCORES, 3.0)
+        assert quality.recall == pytest.approx(0.5)
+        assert quality.false_negatives == 1
+
+    def test_empty_returned_set(self):
+        quality = filter_precision_recall([], SCORES, 3.0)
+        assert quality.precision == 1.0
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_empty_truth_set(self):
+        quality = filter_precision_recall([], SCORES, 100.0)
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+
+    def test_threshold_inclusive(self):
+        quality = filter_precision_recall(["a", "b"], SCORES, 3.0)
+        assert quality.true_positives == 2  # b at exactly 3.0 counts
+
+
+def make_topk_result(names, estimates, k):
+    return TopKResult(
+        attributes=list(names),
+        estimates=[
+            AttributeEstimate(n, e, lower=e - 0.1, upper=e + 0.1, sample_size=10)
+            for n, e in zip(names, estimates)
+        ],
+        stats=RunStats(),
+        k=k,
+    )
+
+
+class TestGuaranteeCheckers:
+    def test_topk_contract_satisfied(self):
+        result = make_topk_result(["a", "b"], [3.9, 2.95], 2)
+        assert check_top_k_guarantee(result, SCORES, 0.1) == []
+
+    def test_topk_condition_one_violated(self):
+        # estimate far below (1-eps) * exact score
+        result = make_topk_result(["a"], [1.0], 1)
+        violations = check_top_k_guarantee(result, SCORES, 0.1)
+        assert any("(i)" in v for v in violations)
+
+    def test_topk_condition_two_violated(self):
+        # returned attribute's exact score too far below the true i-th
+        result = make_topk_result(["d"], [1.0], 1)
+        violations = check_top_k_guarantee(result, SCORES, 0.1)
+        assert any("(ii)" in v for v in violations)
+
+    def test_topk_relaxation_scales_with_epsilon(self):
+        result = make_topk_result(["b"], [3.0], 1)  # true top-1 is a at 4.0
+        assert check_top_k_guarantee(result, SCORES, 0.3) == []
+        assert check_top_k_guarantee(result, SCORES, 0.1) != []
+
+    def make_filter_result(self, names, threshold):
+        return FilterResult(
+            attributes=list(names),
+            estimates={},
+            stats=RunStats(),
+            threshold=threshold,
+        )
+
+    def test_filter_contract_satisfied(self):
+        result = self.make_filter_result(["a", "b"], 2.5)
+        assert check_filter_guarantee(result, SCORES, 0.1) == []
+
+    def test_filter_missing_mandatory_attribute(self):
+        result = self.make_filter_result(["a"], 2.5)  # b at 3.0 >= 1.1*2.5
+        violations = check_filter_guarantee(result, SCORES, 0.1)
+        assert any("missing" in v for v in violations)
+
+    def test_filter_spurious_attribute(self):
+        result = self.make_filter_result(["a", "d"], 2.5)  # d at 1.0 < 0.9*2.5
+        violations = check_filter_guarantee(result, SCORES, 0.1)
+        assert any("spurious" in v for v in violations)
+
+    def test_filter_band_attribute_free(self):
+        # c at 2.0 is inside [0.8*2.4, 1.2*2.4) -> free either way
+        with_c = self.make_filter_result(["a", "b", "c"], 2.4)
+        without_c = self.make_filter_result(["a", "b"], 2.4)
+        assert check_filter_guarantee(with_c, SCORES, 0.2) == []
+        assert check_filter_guarantee(without_c, SCORES, 0.2) == []
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(0.9, 1.0) == pytest.approx(0.1)
+
+    def test_zero_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_nonzero_vs_zero(self):
+        assert math.isinf(relative_error(0.5, 0.0))

@@ -1,0 +1,114 @@
+"""Tests for the bias-reduced entropy estimators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.advanced_estimators import (
+    chao_shen_entropy,
+    digamma,
+    good_turing_coverage,
+    grassberger_entropy,
+)
+from repro.core.estimators import entropy_from_counts
+from repro.exceptions import ParameterError
+
+
+class TestDigamma:
+    def test_against_scipy(self):
+        scipy_special = pytest.importorskip("scipy.special")
+        for x in (0.5, 1.0, 1.5, 2.0, 5.0, 10.0, 123.4):
+            assert digamma(x) == pytest.approx(
+                float(scipy_special.digamma(x)), abs=1e-10
+            )
+
+    def test_known_values(self):
+        euler_gamma = 0.5772156649015329
+        assert digamma(1.0) == pytest.approx(-euler_gamma, abs=1e-12)
+        assert digamma(0.5) == pytest.approx(
+            -euler_gamma - 2 * math.log(2), abs=1e-12
+        )
+
+    def test_recurrence(self):
+        # psi(x+1) = psi(x) + 1/x
+        for x in (0.3, 1.7, 4.2):
+            assert digamma(x + 1) == pytest.approx(digamma(x) + 1 / x, abs=1e-12)
+
+    def test_domain(self):
+        with pytest.raises(ParameterError):
+            digamma(0.0)
+        with pytest.raises(ParameterError):
+            digamma(-1.0)
+
+
+class TestCoverage:
+    def test_no_singletons_full_coverage(self):
+        assert good_turing_coverage(np.array([5, 3, 2])) == 1.0
+
+    def test_half_singletons(self):
+        # counts [1, 1, 2]: f1 = 2, M = 4 -> C = 0.5
+        assert good_turing_coverage(np.array([1, 1, 2])) == pytest.approx(0.5)
+
+    def test_all_singletons_floored(self):
+        assert good_turing_coverage(np.array([1, 1, 1, 1])) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert good_turing_coverage(np.array([], dtype=int)) == 1.0
+
+
+class TestChaoShen:
+    def test_equals_plug_in_when_fully_covered(self):
+        # No singletons and a large sample: inclusion probabilities ~ 1.
+        counts = np.array([1000, 2000, 3000])
+        assert chao_shen_entropy(counts) == pytest.approx(
+            entropy_from_counts(counts), abs=1e-6
+        )
+
+    def test_reduces_undersampling_bias(self):
+        # Uniform over 256 values, only 128 draws: plug-in is badly biased
+        # low; Chao-Shen should land much closer to log2(256) = 8.
+        rng = np.random.default_rng(0)
+        truth = 8.0
+        plug_errors, cs_errors = [], []
+        for _ in range(30):
+            counts = np.bincount(rng.integers(0, 256, 128), minlength=256)
+            plug_errors.append(truth - entropy_from_counts(counts))
+            cs_errors.append(truth - chao_shen_entropy(counts))
+        assert np.mean(cs_errors) < np.mean(plug_errors) / 2
+
+    def test_non_negative(self):
+        assert chao_shen_entropy(np.array([10])) >= 0.0
+
+    def test_empty(self):
+        assert chao_shen_entropy(np.array([], dtype=int)) == 0.0
+
+
+class TestGrassberger:
+    def test_converges_to_plug_in_on_large_counts(self):
+        counts = np.array([10_000, 20_000, 30_000])
+        assert grassberger_entropy(counts) == pytest.approx(
+            entropy_from_counts(counts), abs=1e-3
+        )
+
+    def test_reduces_small_sample_bias(self):
+        rng = np.random.default_rng(1)
+        truth = 5.0  # uniform over 32 values
+        plug_errors, gr_errors = [], []
+        for _ in range(50):
+            counts = np.bincount(rng.integers(0, 32, 48), minlength=32)
+            plug_errors.append(abs(truth - entropy_from_counts(counts)))
+            gr_errors.append(abs(truth - grassberger_entropy(counts)))
+        assert np.mean(gr_errors) < np.mean(plug_errors)
+
+    def test_non_negative(self):
+        assert grassberger_entropy(np.array([5])) >= 0.0
+
+    def test_empty(self):
+        assert grassberger_entropy(np.array([], dtype=int)) == 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ParameterError):
+            grassberger_entropy(np.array([-1, 2]))

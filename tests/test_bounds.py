@@ -1,0 +1,252 @@
+"""Unit tests for :mod:`repro.core.bounds` (Lemmas 1–4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    beta_sensitivity,
+    bias_bound,
+    entropy_interval,
+    joint_entropy_interval,
+    mutual_information_interval,
+    permutation_half_width,
+    sample_size_for_width,
+)
+from repro.exceptions import ParameterError
+
+
+class TestBetaSensitivity:
+    def test_closed_form(self):
+        m = 100
+        expected = math.log2(m / (m - 1)) + math.log2(m - 1) / m
+        assert beta_sensitivity(m) == pytest.approx(expected)
+
+    def test_below_paper_upper_bound(self):
+        # The paper uses beta < 2 log2(M) / M.
+        for m in (2, 10, 100, 10_000):
+            assert beta_sensitivity(m) < 2 * math.log2(max(m, 2)) / m + 1e-12
+
+    def test_m_equal_two(self):
+        assert beta_sensitivity(2) == pytest.approx(1.0)
+
+    def test_m_equal_one_degenerate(self):
+        assert beta_sensitivity(1) == 1.0
+
+    def test_decreasing_in_m(self):
+        values = [beta_sensitivity(m) for m in (4, 16, 64, 256, 1024)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_m(self):
+        with pytest.raises(ParameterError):
+            beta_sensitivity(0)
+
+
+class TestHalfWidth:
+    def test_zero_at_full_sample(self):
+        assert permutation_half_width(1000, 1000, 0.05) == 0.0
+
+    def test_matches_equation_six(self):
+        m, n, p = 500, 10_000, 0.01
+        beta = beta_sensitivity(m)
+        slack = 1 - 1 / (2 * max(m, n - m))
+        expected = beta * math.sqrt(
+            m * (n - m) * math.log(2 / p) / (2 * (n - 0.5) * slack)
+        )
+        assert permutation_half_width(m, n, p) == pytest.approx(expected)
+
+    def test_decreasing_in_m_in_useful_range(self):
+        n = 100_000
+        widths = [permutation_half_width(m, n, 0.01) for m in (100, 400, 1600, 6400)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_tighter_with_larger_failure_probability(self):
+        loose = permutation_half_width(500, 10_000, 0.2)
+        tight = permutation_half_width(500, 10_000, 0.001)
+        assert loose < tight
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            permutation_half_width(10, 100, 0.0)
+        with pytest.raises(ParameterError):
+            permutation_half_width(10, 100, 1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ParameterError):
+            permutation_half_width(0, 100, 0.1)
+        with pytest.raises(ParameterError):
+            permutation_half_width(101, 100, 0.1)
+
+
+class TestBiasBound:
+    def test_matches_equation_seven(self):
+        u, m, n = 50, 1000, 100_000
+        expected = math.log2(1 + (u - 1) * (n - m) / (m * (n - 1)))
+        assert bias_bound(u, m, n) == pytest.approx(expected)
+
+    def test_zero_cases(self):
+        assert bias_bound(50, 1000, 1000) == 0.0  # M = N
+        assert bias_bound(1, 10, 100) == 0.0  # constant column
+        assert bias_bound(5, 1, 1) == 0.0  # N = 1
+
+    def test_decreasing_in_m(self):
+        values = [bias_bound(100, m, 10_000) for m in (10, 100, 1000, 9999)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increasing_in_support(self):
+        values = [bias_bound(u, 100, 10_000) for u in (2, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_invalid_support(self):
+        with pytest.raises(ParameterError):
+            bias_bound(0, 10, 100)
+
+
+class TestEntropyInterval:
+    def test_width_identity(self):
+        # The stopping rules rely on upper - lower = 2*lambda + b exactly
+        # (before zero-clipping), i.e. H_lower = H_upper - 2λ - b.
+        iv = entropy_interval(3.0, 50, 500, 10_000, 0.01)
+        unclipped_lower = 3.0 - iv.half_width
+        assert iv.upper - unclipped_lower == pytest.approx(iv.width)
+        assert iv.width == pytest.approx(2 * iv.half_width + iv.bias)
+        assert iv.upper == pytest.approx(3.0 + iv.half_width + iv.bias)
+
+    def test_lower_clipped_at_zero(self):
+        iv = entropy_interval(0.001, 50, 100, 10_000, 0.01)
+        assert iv.lower == 0.0
+        assert iv.upper > 0.0
+
+    def test_midpoint_uses_unclipped_lower(self):
+        iv = entropy_interval(0.001, 50, 100, 10_000, 0.01)
+        assert iv.midpoint == pytest.approx(iv.upper - iv.width / 2)
+
+    def test_collapses_at_full_sample(self):
+        iv = entropy_interval(3.0, 50, 10_000, 10_000, 0.01)
+        assert iv.lower == iv.upper == 3.0
+        assert iv.width == 0.0
+
+    def test_contains(self):
+        iv = entropy_interval(3.0, 50, 500, 10_000, 0.01)
+        assert iv.contains(3.0)
+        assert not iv.contains(iv.upper + 1.0)
+
+    def test_negative_sample_entropy_rejected(self):
+        with pytest.raises(ParameterError):
+            entropy_interval(-0.1, 50, 500, 10_000, 0.01)
+
+
+class TestJointAndMIIntervals:
+    def make_parts(self, m=500, n=10_000, p=0.01):
+        target = entropy_interval(2.0, 10, m, n, p)
+        candidate = entropy_interval(3.0, 20, m, n, p)
+        joint = joint_entropy_interval(4.0, 10, 20, m, n, p)
+        return target, candidate, joint
+
+    def test_joint_uses_product_support(self):
+        m, n, p = 500, 10_000, 0.01
+        joint = joint_entropy_interval(4.0, 10, 20, m, n, p)
+        direct = entropy_interval(4.0, 200, m, n, p)
+        assert joint.bias == pytest.approx(direct.bias)
+
+    def test_mi_width_is_six_lambda_plus_biases(self):
+        target, candidate, joint = self.make_parts()
+        mi = mutual_information_interval(target, candidate, joint, 1.0)
+        expected = 6 * target.half_width + target.bias + candidate.bias + joint.bias
+        assert mi.width == pytest.approx(expected)
+        assert mi.bias_total == pytest.approx(
+            target.bias + candidate.bias + joint.bias
+        )
+
+    def test_mi_bounds_assembled_correctly(self):
+        target, candidate, joint = self.make_parts()
+        mi = mutual_information_interval(target, candidate, joint, 1.0)
+        lam = target.half_width
+        expected_upper = 2.0 + 3.0 - 4.0 + 3 * lam + target.bias + candidate.bias
+        assert mi.upper == pytest.approx(expected_upper)
+        assert mi.lower == pytest.approx(max(0.0, expected_upper - mi.width))
+
+    def test_mi_lower_clipped_at_zero(self):
+        target, candidate, joint = self.make_parts(m=10)
+        mi = mutual_information_interval(target, candidate, joint, 0.0)
+        assert mi.lower >= 0.0
+
+    def test_mi_collapses_at_full_sample(self):
+        target, candidate, joint = self.make_parts(m=10_000)
+        mi = mutual_information_interval(target, candidate, joint, 1.0)
+        assert mi.lower == mi.upper == pytest.approx(1.0)
+
+    def test_mi_mismatched_sample_sizes_rejected(self):
+        target, candidate, _ = self.make_parts(m=500)
+        joint_other = joint_entropy_interval(4.0, 10, 20, 600, 10_000, 0.01)
+        with pytest.raises(ParameterError, match="share one sample"):
+            mutual_information_interval(target, candidate, joint_other, 1.0)
+
+    def test_mi_midpoint_is_center(self):
+        target, candidate, joint = self.make_parts()
+        mi = mutual_information_interval(target, candidate, joint, 1.0)
+        assert mi.midpoint == pytest.approx(mi.upper - mi.width / 2)
+
+    def test_mi_contains(self):
+        target, candidate, joint = self.make_parts()
+        mi = mutual_information_interval(target, candidate, joint, 1.0)
+        assert mi.contains((mi.lower + mi.upper) / 2)
+
+
+class TestSampleSizeForWidth:
+    def test_width_actually_achieved(self):
+        # Lemma 4: at the returned M, 2λ + b ≤ κ must hold.
+        n, u, p = 200_000, 50, 0.001
+        for kappa in (0.5, 1.0, 2.0):
+            m = sample_size_for_width(kappa, u, n, p)
+            if m < n:
+                width = 2 * permutation_half_width(m, n, p) + bias_bound(u, m, n)
+                assert width <= kappa + 1e-9
+
+    def test_monotone_in_width(self):
+        n = 1_000_000
+        sizes = [sample_size_for_width(k, 50, n, 0.01) for k in (2.0, 1.0, 0.5, 0.25)]
+        assert sizes == sorted(sizes)
+
+    def test_clamped_to_population(self):
+        assert sample_size_for_width(1e-9, 50, 1000, 0.01) == 1000
+
+    def test_single_record_population(self):
+        assert sample_size_for_width(0.5, 50, 1, 0.01) == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ParameterError):
+            sample_size_for_width(0.0, 50, 1000, 0.01)
+
+
+class TestStatisticalValidity:
+    """Empirical check that Lemma 3 intervals actually cover the truth.
+
+    Draw many shuffled prefixes of a fixed dataset and verify that the
+    population empirical entropy falls inside the interval far more often
+    than 1 - p (the bound is conservative, so coverage should be ~100%).
+    """
+
+    def test_interval_coverage(self):
+        rng = np.random.default_rng(0)
+        n, u, m, p = 20_000, 20, 500, 0.1
+        data = rng.integers(0, u, n)
+        truth = -sum(
+            c / n * math.log2(c / n) for c in np.bincount(data, minlength=u) if c
+        )
+        misses = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.choice(data, size=m, replace=False)
+            h_s = -sum(
+                c / m * math.log2(c / m)
+                for c in np.bincount(sample, minlength=u)
+                if c
+            )
+            iv = entropy_interval(h_s, u, m, n, p)
+            if not iv.contains(truth):
+                misses += 1
+        assert misses / trials <= p

@@ -1,0 +1,88 @@
+"""Tests for the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig1"])
+        assert args.figure_id == "fig1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "topk-entropy"])
+        assert args.dataset == "cdc"
+        assert args.k == 4
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+        assert "pus" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "33,714,152" in out
+
+    def test_figure_small(self, capsys):
+        code = main(
+            ["figure", "fig9", "--datasets", "cdc", "--scale", "0.01", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "swope" in out
+
+    def test_query_topk_entropy(self, capsys):
+        code = main(
+            ["query", "topk-entropy", "--dataset", "cdc", "--scale", "0.01", "-k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer (3 attributes)" in out
+        assert "stats:" in out
+
+    def test_query_filter_entropy(self, capsys):
+        code = main(
+            ["query", "filter-entropy", "--dataset", "cdc", "--scale", "0.01",
+             "--eta", "8.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top_twin" in out
+
+    def test_query_topk_mi_default_target(self, capsys):
+        code = main(
+            ["query", "topk-mi", "--dataset", "cdc", "--scale", "0.01", "-k", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mi_m_00" in out
+
+    def test_query_filter_mi(self, capsys):
+        code = main(
+            ["query", "filter-mi", "--dataset", "cdc", "--scale", "0.01",
+             "--eta", "1.0"]
+        )
+        assert code == 0
+
+    def test_error_exit_code(self, capsys):
+        code = main(
+            ["query", "topk-mi", "--dataset", "cdc", "--scale", "0.01",
+             "--target", "ghost"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,157 @@
+"""Unit tests for :mod:`repro.data.column_store`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.column_store import ColumnStore
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_basic_shape(self, tiny_store):
+        assert tiny_store.num_rows == 8
+        assert tiny_store.num_attributes == 3
+        assert tiny_store.attributes == ("a", "b", "c")
+        assert len(tiny_store) == 8
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnStore({})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError, match="rows"):
+            ColumnStore({"a": np.zeros(3, dtype=int), "b": np.zeros(4, dtype=int)})
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            ColumnStore({"a": np.zeros((2, 2), dtype=int)})
+
+    def test_float_column_rejected(self):
+        with pytest.raises(SchemaError, match="integer"):
+            ColumnStore({"a": np.array([0.5, 1.5])})
+
+    def test_negative_codes_rejected(self):
+        with pytest.raises(SchemaError, match="negative"):
+            ColumnStore({"a": np.array([0, -1, 2])})
+
+    def test_declared_support_too_small_rejected(self):
+        with pytest.raises(SchemaError, match="support size"):
+            ColumnStore({"a": np.array([0, 5])}, support_sizes={"a": 3})
+
+    def test_declared_support_zero_rejected(self):
+        with pytest.raises(SchemaError, match=">= 1"):
+            ColumnStore({"a": np.array([0])}, support_sizes={"a": 0})
+
+    def test_columns_are_read_only(self, tiny_store):
+        col = tiny_store.column("a")
+        with pytest.raises(ValueError):
+            col[0] = 9
+
+    def test_dtype_is_compact(self):
+        store = ColumnStore({"a": np.array([0, 1, 2], dtype=np.int64)})
+        assert store.column("a").dtype == np.int16
+
+    def test_dtype_grows_with_support(self):
+        store = ColumnStore(
+            {"a": np.array([0], dtype=np.int64)}, support_sizes={"a": 100_000}
+        )
+        assert store.column("a").dtype == np.int32
+
+
+class TestSupportSizes:
+    def test_inferred_support(self, tiny_store):
+        assert tiny_store.support_size("a") == 4
+        assert tiny_store.support_size("b") == 2
+        assert tiny_store.support_size("c") == 1
+
+    def test_declared_support_preserved(self):
+        store = ColumnStore({"a": np.array([0, 1])}, support_sizes={"a": 10})
+        assert store.support_size("a") == 10
+
+    def test_support_sizes_mapping_is_copy(self, tiny_store):
+        mapping = tiny_store.support_sizes()
+        mapping["a"] = 999
+        assert tiny_store.support_size("a") == 4
+
+    def test_max_support_size(self, tiny_store):
+        assert tiny_store.max_support_size() == 4
+
+    def test_unknown_attribute_raises(self, tiny_store):
+        with pytest.raises(SchemaError, match="unknown"):
+            tiny_store.support_size("nope")
+        with pytest.raises(SchemaError, match="unknown"):
+            tiny_store.column("nope")
+
+
+class TestDerivedStores:
+    def test_select_preserves_order_and_support(self, tiny_store):
+        sub = tiny_store.select(["c", "a"])
+        assert sub.attributes == ("c", "a")
+        assert sub.support_size("a") == 4
+        assert sub.num_rows == 8
+
+    def test_select_unknown_raises(self, tiny_store):
+        with pytest.raises(SchemaError):
+            tiny_store.select(["a", "zzz"])
+
+    def test_select_shares_arrays(self, tiny_store):
+        sub = tiny_store.select(["a"])
+        assert sub.column("a") is tiny_store.column("a")
+
+    def test_drop(self, tiny_store):
+        sub = tiny_store.drop(["b"])
+        assert sub.attributes == ("a", "c")
+
+    def test_drop_all_raises(self, tiny_store):
+        with pytest.raises(SchemaError, match="empty"):
+            tiny_store.drop(["a", "b", "c"])
+
+    def test_drop_unknown_raises(self, tiny_store):
+        with pytest.raises(SchemaError):
+            tiny_store.drop(["zzz"])
+
+    def test_head_keeps_declared_support(self, tiny_store):
+        sub = tiny_store.head(2)
+        assert sub.num_rows == 2
+        # value 3 does not appear in the first 2 rows, but the domain is kept
+        assert sub.support_size("a") == 4
+
+    def test_head_clamps_to_num_rows(self, tiny_store):
+        assert tiny_store.head(100).num_rows == 8
+
+    def test_head_zero_raises(self, tiny_store):
+        with pytest.raises(SchemaError):
+            tiny_store.head(0)
+
+    def test_take_reorders_rows(self, tiny_store):
+        sub = tiny_store.take([7, 0])
+        assert sub.num_rows == 2
+        assert list(sub.column("a")) == [3, 0]
+
+    def test_take_rejects_2d(self, tiny_store):
+        with pytest.raises(SchemaError):
+            tiny_store.take(np.array([[0, 1]]))
+
+    def test_contains(self, tiny_store):
+        assert "a" in tiny_store
+        assert "zzz" not in tiny_store
+
+
+class TestCounting:
+    def test_value_counts_full(self, tiny_store):
+        counts = tiny_store.value_counts("a")
+        assert counts.tolist() == [2, 2, 2, 2]
+        assert counts.dtype == np.int64
+
+    def test_value_counts_prefix(self, tiny_store):
+        counts = tiny_store.value_counts("a", num_rows=3)
+        assert counts.tolist() == [2, 1, 0, 0]
+
+    def test_value_counts_has_declared_length(self):
+        store = ColumnStore({"a": np.array([0, 0])}, support_sizes={"a": 5})
+        assert store.value_counts("a").shape == (5,)
+
+    def test_memory_bytes_positive(self, tiny_store):
+        assert tiny_store.memory_bytes() > 0

@@ -1,0 +1,107 @@
+"""Tests for :mod:`repro.synth.correlation` (noisy-copy MI control)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import entropy_from_probabilities
+from repro.data.column_store import ColumnStore
+from repro.baselines.exact import exact_mutual_information
+from repro.exceptions import ParameterError
+from repro.synth.correlation import (
+    analytic_noisy_copy_mi,
+    noisy_copy,
+    retention_for_mi,
+)
+from repro.synth.distributions import (
+    probabilities_with_entropy,
+    sample_categorical,
+    uniform_probabilities,
+)
+
+
+class TestAnalyticMI:
+    def test_zero_retention_zero_mi(self):
+        p = uniform_probabilities(8)
+        assert analytic_noisy_copy_mi(p, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_full_retention_equals_entropy(self):
+        p = probabilities_with_entropy(16, 2.7)
+        assert analytic_noisy_copy_mi(p, 1.0) == pytest.approx(2.7, abs=1e-4)
+
+    def test_monotone_in_retention(self):
+        p = uniform_probabilities(16)
+        values = [analytic_noisy_copy_mi(p, r) for r in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values)
+
+    def test_single_value_support(self):
+        assert analytic_noisy_copy_mi(np.array([1.0]), 0.5) == 0.0
+
+    def test_invalid_retention(self):
+        with pytest.raises(ParameterError):
+            analytic_noisy_copy_mi(uniform_probabilities(4), 1.5)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ParameterError):
+            analytic_noisy_copy_mi(np.array([0.5, 0.4]), 0.5)
+
+
+class TestRetentionSolver:
+    @pytest.mark.parametrize("target", [0.05, 0.3, 1.0, 2.0])
+    def test_solves_target(self, target):
+        p = probabilities_with_entropy(32, 4.5)
+        r = retention_for_mi(p, target)
+        assert analytic_noisy_copy_mi(p, r) == pytest.approx(target, abs=1e-4)
+
+    def test_zero_target(self):
+        assert retention_for_mi(uniform_probabilities(8), 0.0) == 0.0
+
+    def test_unreachable_target_rejected(self):
+        p = uniform_probabilities(4)  # max MI = 2 bits
+        with pytest.raises(ParameterError, match="exceeds the maximum"):
+            retention_for_mi(p, 3.0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ParameterError):
+            retention_for_mi(uniform_probabilities(4), -0.1)
+
+
+class TestNoisyCopyGeneration:
+    def test_full_retention_copies_exactly(self):
+        rng = np.random.default_rng(0)
+        base = rng.integers(0, 8, 1000)
+        copy = noisy_copy(rng, base, 8, 1.0)
+        assert np.array_equal(copy, base)
+
+    def test_zero_retention_independent(self):
+        rng = np.random.default_rng(1)
+        base = np.zeros(50_000, dtype=np.int64)
+        copy = noisy_copy(rng, base, 8, 0.0)
+        freq = np.bincount(copy, minlength=8) / copy.size
+        assert np.abs(freq - 1 / 8).max() < 0.01
+
+    def test_values_in_support(self):
+        rng = np.random.default_rng(2)
+        base = rng.integers(0, 5, 1000)
+        copy = noisy_copy(rng, base, 5, 0.5)
+        assert copy.min() >= 0 and copy.max() < 5
+
+    def test_base_out_of_support_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ParameterError):
+            noisy_copy(rng, np.array([0, 9]), 5, 0.5)
+
+    def test_empirical_mi_matches_analytic(self):
+        # End-to-end: generate a noisy copy and check the realised MI is
+        # close to the analytic target.
+        rng = np.random.default_rng(4)
+        p = probabilities_with_entropy(16, 3.5)
+        target_mi = 1.2
+        r = retention_for_mi(p, target_mi)
+        n = 150_000
+        base = sample_categorical(rng, p, n)
+        copy = noisy_copy(rng, base, 16, r)
+        store = ColumnStore({"x": base, "y": copy})
+        realised = exact_mutual_information(store, "x", "y")
+        assert realised == pytest.approx(target_mi, abs=0.03)

@@ -1,0 +1,105 @@
+"""Unit tests for :mod:`repro.data.csv_io`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.column_store import ColumnStore
+from repro.data.csv_io import load_csv, load_npz, save_npz
+from repro.exceptions import DataFormatError
+
+
+def write(tmp_path, text, name="data.csv"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestLoadCsv:
+    def test_basic_load(self, tmp_path):
+        path = write(tmp_path, "a,b\nx,1\ny,2\nx,1\n")
+        store, encoder = load_csv(path)
+        assert store.num_rows == 3
+        assert store.attributes == ("a", "b")
+        assert store.support_size("a") == 2
+        assert encoder.decode("a", store.column("a")) == ["x", "y", "x"]
+
+    def test_max_rows(self, tmp_path):
+        path = write(tmp_path, "a\n1\n2\n3\n4\n")
+        store, _ = load_csv(path, max_rows=2)
+        assert store.num_rows == 2
+
+    def test_usecols(self, tmp_path):
+        path = write(tmp_path, "a,b,c\n1,2,3\n4,5,6\n")
+        store, _ = load_csv(path, usecols=["c", "a"])
+        assert store.attributes == ("c", "a")
+
+    def test_usecols_unknown_raises(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,2\n")
+        with pytest.raises(DataFormatError, match="unknown columns"):
+            load_csv(path, usecols=["zzz"])
+
+    def test_custom_delimiter(self, tmp_path):
+        path = write(tmp_path, "a;b\n1;2\n")
+        store, _ = load_csv(path, delimiter=";")
+        assert store.attributes == ("a", "b")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataFormatError, match="no such file"):
+            load_csv(tmp_path / "ghost.csv")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = write(tmp_path, "")
+        with pytest.raises(DataFormatError, match="empty"):
+            load_csv(path)
+
+    def test_header_only_raises(self, tmp_path):
+        path = write(tmp_path, "a,b\n")
+        with pytest.raises(DataFormatError, match="no data rows"):
+            load_csv(path)
+
+    def test_duplicate_header_raises(self, tmp_path):
+        path = write(tmp_path, "a,a\n1,2\n")
+        with pytest.raises(DataFormatError, match="duplicate"):
+            load_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = write(tmp_path, "a,b\n1,2\n3\n")
+        with pytest.raises(DataFormatError, match="row 3"):
+            load_csv(path)
+
+    def test_header_names_stripped(self, tmp_path):
+        path = write(tmp_path, " a , b \n1,2\n")
+        store, _ = load_csv(path)
+        assert store.attributes == ("a", "b")
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_preserves_data_and_support(self, tmp_path):
+        store = ColumnStore(
+            {"a": np.array([0, 1, 2]), "b": np.array([1, 1, 0])},
+            support_sizes={"a": 10, "b": 2},
+        )
+        path = tmp_path / "store.npz"
+        save_npz(store, path)
+        loaded = load_npz(path)
+        assert loaded.num_rows == 3
+        assert loaded.support_size("a") == 10
+        assert loaded.column("b").tolist() == [1, 1, 0]
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataFormatError, match="no such file"):
+            load_npz(tmp_path / "ghost.npz")
+
+    def test_load_foreign_npz_raises(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(DataFormatError, match="unexpected archive member"):
+            load_npz(path)
+
+    def test_load_npz_missing_support_raises(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, **{"col::a": np.arange(3)})
+        with pytest.raises(DataFormatError, match="missing support"):
+            load_npz(path)

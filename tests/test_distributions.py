@@ -1,0 +1,142 @@
+"""Tests for :mod:`repro.synth.distributions`."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import entropy_from_probabilities
+from repro.exceptions import ParameterError
+from repro.synth.distributions import (
+    geometric_probabilities,
+    head_mixture_probabilities,
+    probabilities_with_entropy,
+    sample_categorical,
+    uniform_probabilities,
+    zipf_probabilities,
+)
+
+
+class TestFamilies:
+    def test_uniform(self):
+        p = uniform_probabilities(8)
+        assert p.sum() == pytest.approx(1.0)
+        assert entropy_from_probabilities(p) == pytest.approx(3.0)
+
+    def test_zipf_zero_exponent_is_uniform(self):
+        assert np.allclose(zipf_probabilities(10, 0.0), uniform_probabilities(10))
+
+    def test_zipf_entropy_decreases_with_exponent(self):
+        entropies = [
+            entropy_from_probabilities(zipf_probabilities(64, s))
+            for s in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert entropies == sorted(entropies, reverse=True)
+
+    def test_zipf_negative_exponent_rejected(self):
+        with pytest.raises(ParameterError):
+            zipf_probabilities(10, -1.0)
+
+    def test_geometric_normalised(self):
+        p = geometric_probabilities(20, 0.5)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p[:-1] >= p[1:]).all()
+
+    def test_geometric_ratio_one_is_uniform(self):
+        assert np.allclose(geometric_probabilities(5, 1.0), uniform_probabilities(5))
+
+    def test_geometric_invalid_ratio(self):
+        with pytest.raises(ParameterError):
+            geometric_probabilities(5, 0.0)
+        with pytest.raises(ParameterError):
+            geometric_probabilities(5, 1.5)
+
+    def test_head_mixture_extremes(self):
+        u = 16
+        point = head_mixture_probabilities(u, 0.0)
+        assert point[0] == pytest.approx(1.0)
+        assert entropy_from_probabilities(point) == 0.0
+        flat = head_mixture_probabilities(u, 1.0)
+        assert entropy_from_probabilities(flat) == pytest.approx(4.0)
+
+    def test_head_mixture_entropy_monotone(self):
+        entropies = [
+            entropy_from_probabilities(head_mixture_probabilities(32, t))
+            for t in (0.1, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert entropies == sorted(entropies)
+
+    def test_support_one(self):
+        assert uniform_probabilities(1).tolist() == [1.0]
+        with pytest.raises(ParameterError):
+            uniform_probabilities(0)
+
+
+class TestEntropyTargeting:
+    @pytest.mark.parametrize("support,target", [
+        (4, 1.0), (16, 2.5), (64, 5.9), (1000, 7.5), (1000, 0.5),
+    ])
+    def test_hits_target(self, support, target):
+        p = probabilities_with_entropy(support, target)
+        assert entropy_from_probabilities(p) == pytest.approx(target, abs=1e-4)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_zero_entropy(self):
+        p = probabilities_with_entropy(10, 0.0)
+        assert entropy_from_probabilities(p) == 0.0
+
+    def test_max_entropy(self):
+        p = probabilities_with_entropy(8, 3.0)
+        assert np.allclose(p, uniform_probabilities(8))
+
+    def test_target_above_log_u_rejected(self):
+        with pytest.raises(ParameterError):
+            probabilities_with_entropy(4, 2.5)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ParameterError):
+            probabilities_with_entropy(4, -0.1)
+
+
+class TestSampling:
+    def test_empirical_distribution_matches(self):
+        rng = np.random.default_rng(0)
+        p = zipf_probabilities(8, 1.0)
+        draws = sample_categorical(rng, p, 200_000)
+        freq = np.bincount(draws, minlength=8) / draws.size
+        assert np.abs(freq - p).max() < 0.01
+
+    def test_codes_in_range(self):
+        rng = np.random.default_rng(1)
+        draws = sample_categorical(rng, uniform_probabilities(5), 10_000)
+        assert draws.min() >= 0
+        assert draws.max() < 5
+
+    def test_size_zero(self):
+        rng = np.random.default_rng(2)
+        assert sample_categorical(rng, uniform_probabilities(3), 0).size == 0
+
+    def test_deterministic_given_seed(self):
+        p = uniform_probabilities(4)
+        a = sample_categorical(np.random.default_rng(3), p, 100)
+        b = sample_categorical(np.random.default_rng(3), p, 100)
+        assert np.array_equal(a, b)
+
+    def test_point_mass_never_misassigned(self):
+        # cdf guard: value with probability 0 at the end must never appear
+        rng = np.random.default_rng(4)
+        p = np.array([1.0, 0.0])
+        draws = sample_categorical(rng, p, 10_000)
+        assert (draws == 0).all()
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ParameterError):
+            sample_categorical(rng, np.array([0.5, 0.4]), 10)
+        with pytest.raises(ParameterError):
+            sample_categorical(rng, np.array([]), 10)
+        with pytest.raises(ParameterError):
+            sample_categorical(rng, uniform_probabilities(3), -1)

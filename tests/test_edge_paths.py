@@ -1,0 +1,100 @@
+"""Edge-path tests filling coverage gaps across layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.adaptive_exact import exact_stopping_top_k
+from repro.baselines.entropy_filter import entropy_filter
+from repro.baselines.entropy_rank import entropy_rank_top_k
+from repro.core.engine import EntropyScoreProvider
+from repro.core.schedule import SampleSchedule
+from repro.data.column_store import ColumnStore
+from repro.data.sampling import PrefixSampler
+from repro.experiments.runner import run_entropy_top_k, run_mi_filter
+from repro.synth.datasets import load_dataset
+
+
+class TestRunnerSequentialFlag:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("cdc", scale=0.01)
+
+    def test_shuffled_path(self, dataset):
+        outcome = run_entropy_top_k(
+            dataset.store, "swope", 2, seed=3, sequential=False
+        )
+        assert len(outcome.answer) == 2
+
+    def test_sequential_deterministic_regardless_of_seed(self, dataset):
+        a = run_entropy_top_k(dataset.store, "swope", 2, seed=1, sequential=True)
+        b = run_entropy_top_k(dataset.store, "swope", 2, seed=2, sequential=True)
+        assert a.answer == b.answer
+        assert a.cells_scanned == b.cells_scanned
+
+    def test_mi_filter_exact_runner(self, dataset):
+        target = dataset.mi_targets[0]
+        outcome = run_mi_filter(dataset.store, "exact", target, 0.3)
+        assert outcome.sample_fraction == 1.0
+        assert outcome.accuracy == 1.0
+
+
+class TestExactStoppingEdges:
+    def test_k_covers_all_candidates_breaks_immediately(self, small_store):
+        # With k >= |C| the separation test is vacuous: one iteration.
+        result = entropy_rank_top_k(small_store, 10, seed=0)
+        assert len(result.attributes) == small_store.num_attributes
+        assert result.stats.iterations == 1
+
+    def test_single_candidate(self, small_store):
+        result = entropy_rank_top_k(small_store, 1, seed=0, attributes=["wide"])
+        assert result.attributes == ["wide"]
+        assert result.stats.iterations == 1
+
+    def test_filter_tie_with_threshold_resolved_at_full_sample(self):
+        # H(x) == 1.0 exactly: neither strict rule can ever fire, so the
+        # loop must run to M = N and close the comparison there.
+        store = ColumnStore({"x": np.array([0, 1] * 500)})
+        result = entropy_filter(store, 1.0, seed=0)
+        assert result.answer_set() == {"x"}
+        assert result.stats.final_sample_size == store.num_rows
+
+    def test_custom_provider_loop(self, small_store):
+        # Drive the generic exact-stopping loop directly with a provider.
+        sampler = PrefixSampler(small_store, seed=0)
+        schedule = SampleSchedule(
+            population_size=small_store.num_rows, initial_size=64
+        )
+        provider = EntropyScoreProvider(
+            sampler, schedule.per_round_failure(0.01, 4)
+        )
+        result = exact_stopping_top_k(
+            provider, sampler, list(small_store.attributes), 1, schedule
+        )
+        assert result.attributes == ["wide"]
+
+
+class TestGeneratorSeeds:
+    def test_generator_flows_through_query(self, small_store):
+        from repro.core.topk import swope_top_k_entropy
+
+        gen = np.random.default_rng(5)
+        result = swope_top_k_entropy(small_store, 1, seed=gen)
+        fresh = swope_top_k_entropy(small_store, 1, seed=np.random.default_rng(5))
+        assert result.attributes == fresh.attributes
+        assert result.stats.cells_scanned == fresh.stats.cells_scanned
+
+
+class TestHeadStoreInteraction:
+    def test_query_over_head_slice(self, small_store):
+        from repro.core.topk import swope_top_k_entropy
+
+        head = small_store.head(1000)
+        result = swope_top_k_entropy(head, 1, seed=0)
+        assert result.attributes == ["wide"]
+        assert result.stats.population_size == 1000
+
+    def test_take_accepts_plain_lists(self, small_store):
+        sub = small_store.take([0, 2, 4])
+        assert sub.num_rows == 3

@@ -1,0 +1,78 @@
+"""Unit tests for :mod:`repro.data.encoding`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import CategoricalEncoder, encode_column, encode_table
+from repro.exceptions import EncodingError
+
+
+class TestEncodeColumn:
+    def test_first_appearance_order(self):
+        codes, vocab = encode_column(["b", "a", "b", "c"])
+        assert codes.tolist() == [0, 1, 0, 2]
+        assert vocab == ["b", "a", "c"]
+
+    def test_empty_column(self):
+        codes, vocab = encode_column([])
+        assert codes.size == 0
+        assert vocab == []
+
+    def test_mixed_hashable_types(self):
+        codes, vocab = encode_column([None, 1, "1", None])
+        assert codes.tolist() == [0, 1, 2, 0]
+        assert vocab == [None, 1, "1"]
+
+    def test_numpy_input(self):
+        codes, vocab = encode_column(np.array([5, 7, 5]))
+        assert codes.tolist() == [0, 1, 0]
+
+    def test_unhashable_value_raises(self):
+        with pytest.raises(EncodingError, match="unhashable"):
+            encode_column([[1, 2], [3]])
+
+    def test_deterministic(self):
+        first, _ = encode_column(["x", "y", "x"])
+        second, _ = encode_column(["x", "y", "x"])
+        assert first.tolist() == second.tolist()
+
+
+class TestCategoricalEncoder:
+    def test_fit_transform_builds_store(self):
+        store, encoder = encode_table({"color": ["r", "g", "r"], "n": [1, 2, 3]})
+        assert store.num_rows == 3
+        assert store.support_size("color") == 2
+        assert store.support_size("n") == 3
+        assert encoder.vocabularies["color"] == ["r", "g"]
+
+    def test_decode_round_trip(self):
+        store, encoder = encode_table({"color": ["r", "g", "b", "g"]})
+        codes = store.column("color")
+        assert encoder.decode("color", codes) == ["r", "g", "b", "g"]
+
+    def test_decode_value(self):
+        _, encoder = encode_table({"c": ["x", "y"]})
+        assert encoder.decode_value("c", 1) == "y"
+
+    def test_decode_unknown_attribute_raises(self):
+        encoder = CategoricalEncoder()
+        with pytest.raises(EncodingError, match="never encoded"):
+            encoder.decode("ghost", [0])
+
+    def test_decode_out_of_range_raises(self):
+        _, encoder = encode_table({"c": ["x"]})
+        with pytest.raises(EncodingError, match="out of range"):
+            encoder.decode("c", [5])
+
+    def test_decode_negative_raises(self):
+        _, encoder = encode_table({"c": ["x"]})
+        with pytest.raises(EncodingError, match="out of range"):
+            encoder.decode("c", [-1])
+
+    def test_multiple_tables_accumulate_vocabularies(self):
+        encoder = CategoricalEncoder()
+        encoder.fit_transform({"a": ["x"]})
+        encoder.fit_transform({"b": ["y"]})
+        assert set(encoder.vocabularies) == {"a", "b"}

@@ -1,0 +1,115 @@
+"""Tests for the exact full-scan baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import (
+    exact_entropies,
+    exact_entropy,
+    exact_filter_entropy,
+    exact_filter_mutual_information,
+    exact_joint_entropy,
+    exact_mutual_information,
+    exact_mutual_informations,
+    exact_top_k_entropy,
+    exact_top_k_mutual_information,
+)
+from repro.data.column_store import ColumnStore
+from repro.exceptions import ParameterError, SchemaError
+
+
+class TestExactScores:
+    def test_entropy_hand_computed(self, tiny_store):
+        # column a: four values, two each of eight -> uniform over 4 -> 2 bits
+        assert exact_entropy(tiny_store, "a") == pytest.approx(2.0)
+        assert exact_entropy(tiny_store, "b") == pytest.approx(1.0)
+        assert exact_entropy(tiny_store, "c") == 0.0
+
+    def test_entropies_batch(self, tiny_store):
+        scores = exact_entropies(tiny_store)
+        assert set(scores) == {"a", "b", "c"}
+        assert scores["a"] == pytest.approx(2.0)
+
+    def test_joint_entropy_hand_computed(self, tiny_store):
+        # (a, b) pairs: (0,0) x2 (1,0) x2 (2,1) x2 (3,1) x2 -> uniform over 4
+        assert exact_joint_entropy(tiny_store, "a", "b") == pytest.approx(2.0)
+
+    def test_joint_entropy_symmetric(self, tiny_store):
+        assert exact_joint_entropy(tiny_store, "a", "b") == pytest.approx(
+            exact_joint_entropy(tiny_store, "b", "a")
+        )
+
+    def test_joint_entropy_self_rejected(self, tiny_store):
+        with pytest.raises(SchemaError):
+            exact_joint_entropy(tiny_store, "a", "a")
+
+    def test_mi_hand_computed(self, tiny_store):
+        # I(a,b) = H(a) + H(b) - H(a,b) = 2 + 1 - 2 = 1
+        assert exact_mutual_information(tiny_store, "a", "b") == pytest.approx(1.0)
+
+    def test_mi_with_constant_is_zero(self, tiny_store):
+        assert exact_mutual_information(tiny_store, "a", "c") == pytest.approx(0.0)
+
+    def test_mi_batch_excludes_target(self, tiny_store):
+        scores = exact_mutual_informations(tiny_store, "a")
+        assert set(scores) == {"b", "c"}
+
+    def test_mi_batch_target_as_candidate_rejected(self, tiny_store):
+        with pytest.raises(ParameterError):
+            exact_mutual_informations(tiny_store, "a", candidates=["a"])
+
+    def test_mi_information_inequality(self, correlated_store):
+        # I(X;Y) <= min(H(X), H(Y))
+        h_t = exact_entropy(correlated_store, "target")
+        for cand in ("copy", "noisy", "independent"):
+            mi = exact_mutual_information(correlated_store, "target", cand)
+            h_c = exact_entropy(correlated_store, cand)
+            assert mi <= min(h_t, h_c) + 1e-9
+
+
+class TestExactQueries:
+    def test_top_k(self, small_store):
+        result = exact_top_k_entropy(small_store, 2)
+        assert result.attributes == ["wide", "medium"]
+        assert result.stats.final_sample_size == small_store.num_rows
+        assert result.stats.cells_scanned == 4 * small_store.num_rows
+
+    def test_top_k_point_estimates(self, small_store):
+        result = exact_top_k_entropy(small_store, 1)
+        est = result.estimates[0]
+        assert est.lower == est.estimate == est.upper
+
+    def test_top_k_deterministic_tie_break(self):
+        store = ColumnStore(
+            {"b": np.array([0, 1]), "a": np.array([0, 1])}
+        )
+        result = exact_top_k_entropy(store, 1)
+        assert result.attributes == ["a"]  # lexicographic on ties
+
+    def test_filter(self, small_store):
+        result = exact_filter_entropy(small_store, 3.0)
+        assert result.answer_set() == {"wide", "medium"}
+        assert set(result.estimates) == set(small_store.attributes)
+
+    def test_filter_threshold_is_inclusive(self):
+        store = ColumnStore({"x": np.array([0, 1]), "y": np.array([0, 0])})
+        result = exact_filter_entropy(store, 1.0)
+        assert result.answer_set() == {"x"}  # H(x) == 1.0 exactly
+
+    def test_mi_top_k(self, correlated_store):
+        result = exact_top_k_mutual_information(correlated_store, "target", 2)
+        assert result.attributes == ["copy", "noisy"]
+        assert result.target == "target"
+
+    def test_mi_filter(self, correlated_store):
+        result = exact_filter_mutual_information(correlated_store, "target", 1.0)
+        assert "copy" in result
+        assert "independent" not in result
+
+    def test_invalid_k(self, small_store):
+        with pytest.raises(ParameterError):
+            exact_top_k_entropy(small_store, 0)

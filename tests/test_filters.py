@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.data.filters`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.column_store import ColumnStore
+from repro.data.filters import (
+    PAPER_MAX_SUPPORT,
+    drop_constant_columns,
+    drop_high_support_columns,
+)
+from repro.exceptions import ParameterError
+
+
+def make_store():
+    return ColumnStore(
+        {
+            "small": np.array([0, 1, 0, 1]),
+            "big": np.array([0, 1, 2, 3]),
+            "constant": np.array([0, 0, 0, 0]),
+        },
+        support_sizes={"small": 2, "big": 5000, "constant": 1},
+    )
+
+
+class TestHighSupportFilter:
+    def test_paper_cutoff_value(self):
+        assert PAPER_MAX_SUPPORT == 1000
+
+    def test_drops_only_high_support(self):
+        filtered = drop_high_support_columns(make_store())
+        assert filtered.attributes == ("small", "constant")
+
+    def test_no_drop_returns_same_store(self):
+        store = make_store().select(["small"])
+        assert drop_high_support_columns(store) is store
+
+    def test_custom_cutoff(self):
+        filtered = drop_high_support_columns(make_store(), max_support=1)
+        assert filtered.attributes == ("constant",)
+
+    def test_all_dropped_raises(self):
+        store = make_store().select(["big"])
+        with pytest.raises(ParameterError, match="exceed support size"):
+            drop_high_support_columns(store)
+
+    def test_invalid_cutoff_raises(self):
+        with pytest.raises(ParameterError):
+            drop_high_support_columns(make_store(), max_support=0)
+
+
+class TestConstantColumnFilter:
+    def test_drops_constant(self):
+        filtered = drop_constant_columns(make_store())
+        assert filtered.attributes == ("small", "big")
+
+    def test_all_constant_returned_unchanged(self):
+        store = ColumnStore({"c1": np.zeros(4, dtype=int), "c2": np.zeros(4, dtype=int)})
+        assert drop_constant_columns(store) is store
+
+    def test_no_constant_returned_unchanged(self):
+        store = make_store().select(["small", "big"])
+        assert drop_constant_columns(store) is store
+
+    def test_declared_but_unobserved_values_do_not_count(self):
+        # support size 5 declared but only one value observed -> constant
+        store = ColumnStore(
+            {"c": np.zeros(4, dtype=int), "keep": np.array([0, 1, 0, 1])},
+            support_sizes={"c": 5, "keep": 2},
+        )
+        assert drop_constant_columns(store).attributes == ("keep",)

@@ -1,0 +1,119 @@
+"""End-to-end integration tests: CSV → preprocess → query → decode.
+
+These walk the full user path a downstream adopter takes: raw CSV file in,
+decoded query answers out, with the paper's preprocessing (support-size
+filter) in the middle — plus a full cross-algorithm agreement check on one
+synthetic registry dataset.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    entropy_filter,
+    entropy_rank_top_k,
+    exact_entropies,
+    exact_filter_entropy,
+    exact_top_k_entropy,
+)
+from repro.core import swope_filter_entropy, swope_top_k_entropy
+from repro.data import drop_high_support_columns, load_csv
+from repro.experiments.accuracy import (
+    check_filter_guarantee,
+    check_top_k_guarantee,
+)
+from repro.synth.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def census_csv(tmp_path_factory):
+    """A small census-like CSV with mixed-type columns."""
+    rng = np.random.default_rng(17)
+    n = 4000
+    path = tmp_path_factory.mktemp("data") / "census.csv"
+    education = rng.choice(["none", "hs", "college", "grad"], size=n)
+    state = rng.integers(0, 50, n)
+    income_code = rng.integers(0, 400, n)
+    record_id = np.arange(n)  # unique per row: support = n (to be dropped)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["education", "state", "income_code", "record_id"])
+        for row in zip(education, state, income_code, record_id):
+            writer.writerow(row)
+    return path
+
+
+class TestCsvPipeline:
+    def test_load_filter_query_decode(self, census_csv):
+        store, encoder = load_csv(census_csv)
+        assert store.num_attributes == 4
+        # the paper's preprocessing removes the id-like column
+        store = drop_high_support_columns(store, max_support=1000)
+        assert "record_id" not in store.attributes
+        result = swope_top_k_entropy(store, k=1, seed=0)
+        assert result.attributes == ["income_code"]
+        # answers decode back to raw values
+        top_attr = result.attributes[0]
+        codes = store.column(top_attr)[:3]
+        decoded = encoder.decode(top_attr, codes)
+        assert len(decoded) == 3
+
+    def test_filter_query_on_csv(self, census_csv):
+        store, _ = load_csv(census_csv)
+        store = drop_high_support_columns(store)
+        exact = exact_entropies(store)
+        result = swope_filter_entropy(store, 3.0, epsilon=0.05, seed=0)
+        assert check_filter_guarantee(result, exact, 0.05) == []
+
+
+class TestCrossAlgorithmAgreement:
+    """On a registry dataset, all three algorithms must agree up to the
+    documented approximation guarantees."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("cdc", scale=0.01)
+
+    def test_topk_agreement(self, dataset):
+        store = dataset.store
+        exact_result = exact_top_k_entropy(store, 4)
+        rank_result = entropy_rank_top_k(store, 4, seed=0)
+        assert set(rank_result.attributes) == set(exact_result.attributes)
+        exact = exact_entropies(store)
+        swope_result = swope_top_k_entropy(store, 4, epsilon=0.1, seed=0)
+        assert check_top_k_guarantee(swope_result, exact, 0.1) == []
+
+    def test_filter_agreement(self, dataset):
+        store = dataset.store
+        threshold = 2.0
+        exact_result = exact_filter_entropy(store, threshold)
+        filter_result = entropy_filter(store, threshold, seed=0)
+        assert filter_result.answer_set() == exact_result.answer_set()
+        exact = exact_entropies(store)
+        swope_result = swope_filter_entropy(store, threshold, epsilon=0.05, seed=0)
+        assert check_filter_guarantee(swope_result, exact, 0.05) == []
+
+    def test_swope_cheapest_on_registry_data(self, dataset):
+        store = dataset.store
+        swope = swope_top_k_entropy(store, 4, epsilon=0.1, seed=0)
+        rank = entropy_rank_top_k(store, 4, seed=0)
+        exact_cells = store.num_attributes * store.num_rows
+        assert swope.stats.cells_scanned <= rank.stats.cells_scanned
+        assert rank.stats.cells_scanned <= exact_cells * 1.01
+
+
+class TestPublicApiSurface:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,95 @@
+"""Statistical validity of the Section 4 mutual-information intervals.
+
+Analogous to the entropy coverage test in ``test_bounds.py``: draw many
+without-replacement samples of a fixed dataset and check that the
+assembled MI interval covers the true population MI (the bound is built
+from three union-bounded parts, so observed coverage should be near
+100%), and that the interval midpoint converges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_mutual_information
+from repro.core.bounds import (
+    entropy_interval,
+    joint_entropy_interval,
+    mutual_information_interval,
+)
+from repro.core.estimators import entropy_from_counts
+from repro.data.column_store import ColumnStore
+from repro.data.joint import JointCounter
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = np.random.default_rng(7)
+    n = 30_000
+    x = rng.integers(0, 8, n)
+    y = np.where(rng.random(n) < 0.6, x, rng.integers(0, 8, n))
+    store = ColumnStore({"x": x, "y": y})
+    return store, exact_mutual_information(store, "x", "y")
+
+
+def _mi_interval_of_sample(store, rows, p):
+    m = rows.size
+    n = store.num_rows
+    x = store.column("x")[rows]
+    y = store.column("y")[rows]
+    cx = np.bincount(x, minlength=8)
+    cy = np.bincount(y, minlength=8)
+    joint = JointCounter(8, 8)
+    joint.update(x, y)
+    h_x = entropy_from_counts(cx)
+    h_y = entropy_from_counts(cy)
+    h_xy = entropy_from_counts(joint.nonzero_counts(), total=m)
+    iv_x = entropy_interval(h_x, 8, m, n, p)
+    iv_y = entropy_interval(h_y, 8, m, n, p)
+    iv_xy = joint_entropy_interval(h_xy, 8, 8, m, n, p)
+    return mutual_information_interval(iv_x, iv_y, iv_xy, max(0.0, h_x + h_y - h_xy))
+
+
+class TestMICoverage:
+    def test_interval_covers_truth(self, population):
+        store, truth = population
+        rng = np.random.default_rng(0)
+        p = 0.05  # per-bound budget; interval holds w.p. >= 1 - 3p
+        misses = 0
+        trials = 100
+        for _ in range(trials):
+            rows = rng.choice(store.num_rows, size=1500, replace=False)
+            iv = _mi_interval_of_sample(store, rows, p)
+            if not iv.contains(truth):
+                misses += 1
+        assert misses / trials <= 3 * p
+
+    def test_midpoint_converges_to_truth(self, population):
+        store, truth = population
+        rng = np.random.default_rng(1)
+        errors = []
+        for m in (500, 2000, 8000):
+            batch = []
+            for _ in range(20):
+                rows = rng.choice(store.num_rows, size=m, replace=False)
+                iv = _mi_interval_of_sample(store, rows, 0.05)
+                batch.append(abs(iv.estimate - truth))
+            errors.append(float(np.mean(batch)))
+        assert errors[2] < errors[0]
+
+    def test_width_shrinks_with_sample_size(self, population):
+        store, _ = population
+        rng = np.random.default_rng(2)
+        widths = []
+        for m in (500, 2000, 8000, 29_000):
+            rows = rng.choice(store.num_rows, size=m, replace=False)
+            widths.append(_mi_interval_of_sample(store, rows, 0.05).width)
+        assert widths == sorted(widths, reverse=True)
+
+    def test_full_population_interval_is_exact(self, population):
+        store, truth = population
+        rows = np.arange(store.num_rows)
+        iv = _mi_interval_of_sample(store, rows, 0.05)
+        assert iv.lower == pytest.approx(truth, abs=1e-9)
+        assert iv.upper == pytest.approx(truth, abs=1e-9)

@@ -1,0 +1,66 @@
+"""Tests for the naive fixed-size sampling baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import exact_entropies, exact_mutual_informations
+from repro.baselines.naive_sampling import (
+    naive_filter_entropy,
+    naive_sample_entropies,
+    naive_sample_mutual_informations,
+    naive_top_k_entropy,
+)
+from repro.exceptions import ParameterError, SchemaError
+
+
+class TestNaiveEntropies:
+    def test_close_to_exact_on_large_sample(self, small_store):
+        exact = exact_entropies(small_store)
+        approx = naive_sample_entropies(small_store, small_store.num_rows - 1, seed=0)
+        for name in exact:
+            assert approx[name] == pytest.approx(exact[name], abs=0.05)
+
+    def test_full_sample_is_exact(self, small_store):
+        exact = exact_entropies(small_store)
+        approx = naive_sample_entropies(small_store, small_store.num_rows, seed=0)
+        for name in exact:
+            assert approx[name] == pytest.approx(exact[name])
+
+    def test_invalid_sample_size(self, small_store):
+        with pytest.raises(ParameterError):
+            naive_sample_entropies(small_store, 0)
+        with pytest.raises(ParameterError):
+            naive_sample_entropies(small_store, small_store.num_rows + 1)
+
+
+class TestNaiveMI:
+    def test_full_sample_matches_exact(self, correlated_store):
+        exact = exact_mutual_informations(correlated_store, "target")
+        approx = naive_sample_mutual_informations(
+            correlated_store, "target", correlated_store.num_rows, seed=0
+        )
+        for name in exact:
+            assert approx[name] == pytest.approx(exact[name])
+
+    def test_unknown_target(self, correlated_store):
+        with pytest.raises(SchemaError):
+            naive_sample_mutual_informations(correlated_store, "ghost", 100)
+
+
+class TestNaiveQueries:
+    def test_top_k_on_separated_data(self, small_store):
+        result = naive_top_k_entropy(small_store, 2, 2000, seed=0)
+        assert result.attributes == ["wide", "medium"]
+        assert result.stats.final_sample_size == 2000
+
+    def test_filter_on_separated_data(self, small_store):
+        result = naive_filter_entropy(small_store, 3.0, 2000, seed=0)
+        assert result.answer_set() == {"wide", "medium"}
+
+    def test_small_sample_underestimates_wide_entropy(self, small_store):
+        # The plug-in estimator on 50 records cannot see 200 distinct
+        # values, demonstrating why the bias term b(alpha) exists.
+        exact = exact_entropies(small_store)["wide"]
+        approx = naive_sample_entropies(small_store, 50, seed=0)["wide"]
+        assert approx < exact - 1.0

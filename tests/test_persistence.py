@@ -1,0 +1,82 @@
+"""Tests for figure-run persistence (JSON round trip)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import DataFormatError
+from repro.experiments.figures import run_figure
+from repro.experiments.persistence import load_figure_run, save_figure_run
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_figure("fig9", datasets=["cdc"], scale=0.01, seed=0)
+
+
+class TestRoundTrip:
+    def test_preserves_points(self, small_run, tmp_path):
+        path = tmp_path / "fig9.json"
+        save_figure_run(small_run, path)
+        loaded = load_figure_run(path)
+        assert loaded.spec.figure_id == "fig9"
+        assert loaded.datasets == small_run.datasets
+        assert loaded.scale == small_run.scale
+        assert len(loaded.points) == len(small_run.points)
+        for a, b in zip(loaded.points, small_run.points):
+            assert a.dataset == b.dataset
+            assert a.x == b.x
+            assert a.algorithm == b.algorithm
+            assert a.cells_scanned == pytest.approx(b.cells_scanned)
+            assert a.accuracy == pytest.approx(b.accuracy)
+
+    def test_series_survive_round_trip(self, small_run, tmp_path):
+        path = tmp_path / "fig9.json"
+        save_figure_run(small_run, path)
+        loaded = load_figure_run(path)
+        assert loaded.series("cdc", "swope", "accuracy") == small_run.series(
+            "cdc", "swope", "accuracy"
+        )
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataFormatError, match="no such file"):
+            load_figure_run(tmp_path / "ghost.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DataFormatError, match="not valid JSON"):
+            load_figure_run(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(DataFormatError, match="unsupported"):
+            load_figure_run(path)
+
+    def test_unknown_figure(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"version": 1, "figure": "fig99"}))
+        with pytest.raises(DataFormatError, match="unknown figure"):
+            load_figure_run(path)
+
+    def test_malformed_points(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "figure": "fig9",
+                    "datasets": ["cdc"],
+                    "scale": 1.0,
+                    "num_targets": 1,
+                    "points": [{"dataset": "cdc"}],
+                }
+            )
+        )
+        with pytest.raises(DataFormatError, match="malformed"):
+            load_figure_run(path)

@@ -1,0 +1,130 @@
+"""Tests for SVG plotting and run-comparison (regression) modules."""
+
+from __future__ import annotations
+
+import copy
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import run_figure
+from repro.experiments.plotting import figure_svg, save_figure_svg
+from repro.experiments.regression import compare_runs
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_figure("fig1", datasets=["cdc"], scale=0.01, seed=0)
+
+
+@pytest.fixture(scope="module")
+def eps_run():
+    return run_figure("fig9", datasets=["cdc"], scale=0.01, seed=0)
+
+
+class TestFigureSvg:
+    def test_valid_xml(self, small_run):
+        svg = figure_svg(small_run, "seconds")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_panel_per_dataset(self, small_run):
+        svg = figure_svg(small_run)
+        # one titled rect frame per dataset panel
+        assert svg.count("<rect") == len(small_run.datasets)
+
+    def test_one_polyline_per_algorithm(self, small_run):
+        svg = figure_svg(small_run, "cells_scanned")
+        assert svg.count("<polyline") == len(small_run.spec.algorithms)
+
+    def test_markers_cover_every_point(self, small_run):
+        svg = figure_svg(small_run)
+        expected = len(small_run.spec.algorithms) * len(small_run.spec.x_values)
+        assert svg.count("<circle") == expected
+
+    def test_legend_names_algorithms(self, small_run):
+        svg = figure_svg(small_run)
+        for algorithm in small_run.spec.algorithms:
+            assert algorithm in svg
+
+    def test_accuracy_metric_linear_axis(self, small_run):
+        svg = figure_svg(small_run, "accuracy")
+        assert "accuracy" in svg
+        ET.fromstring(svg)  # still valid
+
+    def test_unknown_metric_rejected(self, small_run):
+        with pytest.raises(ParameterError, match="unknown metric"):
+            figure_svg(small_run, "vibes")
+
+    def test_empty_run_rejected(self, small_run):
+        empty = copy.copy(small_run)
+        empty.points = []
+        with pytest.raises(ParameterError, match="no measurements"):
+            figure_svg(empty)
+
+    def test_save_to_file(self, small_run, tmp_path):
+        path = tmp_path / "fig.svg"
+        save_figure_svg(small_run, path, metric="seconds")
+        assert path.read_text().startswith("<svg")
+
+    def test_single_algorithm_sweep(self, eps_run):
+        svg = figure_svg(eps_run, "cells_scanned")
+        assert svg.count("<polyline") == 1
+
+
+class TestCompareRuns:
+    def test_identical_runs_ok(self, small_run):
+        comparison = compare_runs(small_run, small_run)
+        assert comparison.ok
+        assert all(d.cells_ratio == pytest.approx(1.0) for d in comparison.deltas)
+        assert "OK" in comparison.summary()
+
+    def test_cost_regression_detected(self, small_run):
+        worse = copy.deepcopy(small_run)
+        for point in worse.points:
+            if point.algorithm == "swope":
+                point.cells_scanned *= 2.0
+        comparison = compare_runs(small_run, worse, cells_tolerance=0.25)
+        assert not comparison.ok
+        assert all(d.algorithm == "swope" for d in comparison.regressions)
+        assert "regression" in comparison.summary()
+
+    def test_accuracy_regression_detected(self, small_run):
+        worse = copy.deepcopy(small_run)
+        worse.points[0].accuracy -= 0.5
+        comparison = compare_runs(small_run, worse)
+        assert not comparison.ok
+        assert len(comparison.regressions) == 1
+
+    def test_improvements_not_flagged(self, small_run):
+        better = copy.deepcopy(small_run)
+        for point in better.points:
+            point.cells_scanned *= 0.5
+        assert compare_runs(small_run, better).ok
+
+    def test_tolerance_respected(self, small_run):
+        slightly_worse = copy.deepcopy(small_run)
+        for point in slightly_worse.points:
+            point.cells_scanned *= 1.1
+        assert compare_runs(small_run, slightly_worse, cells_tolerance=0.25).ok
+        assert not compare_runs(
+            small_run, slightly_worse, cells_tolerance=0.05
+        ).ok
+
+    def test_different_figures_rejected(self, small_run, eps_run):
+        with pytest.raises(ParameterError, match="cannot compare"):
+            compare_runs(small_run, eps_run)
+
+    def test_disjoint_points_rejected(self, small_run):
+        other = copy.deepcopy(small_run)
+        for point in other.points:
+            point.dataset = "never-seen"
+        with pytest.raises(ParameterError, match="share no"):
+            compare_runs(small_run, other)
+
+    def test_subset_comparison_allowed(self, small_run):
+        subset = copy.deepcopy(small_run)
+        subset.points = subset.points[:3]
+        comparison = compare_runs(small_run, subset)
+        assert len(comparison.deltas) == 3

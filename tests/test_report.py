@@ -1,0 +1,60 @@
+"""Tests for the text report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import run_figure, run_table2
+from repro.experiments.report import format_table, render_figure, render_table2
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["col", "x"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith(" x")
+        assert set(lines[1]) == {"-"}
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ParameterError):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestRenderFigure:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_figure("fig1", datasets=["cdc"], scale=0.01, seed=0)
+
+    def test_contains_header_and_dataset(self, run):
+        text = render_figure(run)
+        assert "fig1" in text
+        assert "dataset: cdc" in text
+
+    def test_contains_all_sweep_values(self, run):
+        text = render_figure(run)
+        for k in (1, 2, 4, 8, 10):
+            assert f"\n{k:>2d} " in text or text.count(f"{k}") > 0
+
+    def test_contains_speedup_columns(self, run):
+        text = render_figure(run)
+        assert "x vs exact" in text
+        assert "x vs entropy_rank" in text
+
+    def test_epsilon_sweep_has_no_speedup_column(self):
+        run = run_figure("fig9", datasets=["cdc"], scale=0.01, seed=0)
+        text = render_figure(run)
+        assert "x vs" not in text
+
+
+class TestRenderTable2:
+    def test_contains_paper_shapes(self):
+        text = render_table2(run_table2())
+        assert "31,290,943" in text
+        assert "179" in text
+        assert "cdc" in text

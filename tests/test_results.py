@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.core.results`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+
+
+def est(name, value=1.0, lower=0.5, upper=1.5, m=100):
+    return AttributeEstimate(
+        attribute=name, estimate=value, lower=lower, upper=upper, sample_size=m
+    )
+
+
+class TestAttributeEstimate:
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            AttributeEstimate("a", 1.0, lower=2.0, upper=1.0, sample_size=10)
+
+    def test_point_interval_allowed(self):
+        AttributeEstimate("a", 1.0, lower=1.0, upper=1.0, sample_size=10)
+
+
+class TestRunStats:
+    def test_sample_fraction(self):
+        stats = RunStats(final_sample_size=250, population_size=1000)
+        assert stats.sample_fraction == 0.25
+
+    def test_sample_fraction_empty(self):
+        assert RunStats().sample_fraction == 0.0
+
+
+class TestTopKResult:
+    def make(self):
+        return TopKResult(
+            attributes=["a", "b"],
+            estimates=[est("a", 2.0), est("b", 1.0)],
+            stats=RunStats(),
+            k=2,
+        )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="estimates"):
+            TopKResult(attributes=["a"], estimates=[], stats=RunStats(), k=1)
+
+    def test_estimate_of(self):
+        result = self.make()
+        assert result.estimate_of("b").estimate == 1.0
+        with pytest.raises(KeyError):
+            result.estimate_of("zzz")
+
+    def test_scores(self):
+        assert self.make().scores() == {"a": 2.0, "b": 1.0}
+
+
+class TestFilterResult:
+    def make(self):
+        return FilterResult(
+            attributes=["a"],
+            estimates={"a": est("a"), "b": est("b", 0.1, 0.0, 0.2)},
+            stats=RunStats(),
+            threshold=0.5,
+        )
+
+    def test_contains(self):
+        result = self.make()
+        assert "a" in result
+        assert "b" not in result
+
+    def test_answer_set(self):
+        assert self.make().answer_set() == frozenset({"a"})
+
+    def test_estimates_cover_rejected_attributes(self):
+        assert "b" in self.make().estimates

@@ -1,0 +1,62 @@
+"""Tests for scripts/run_experiments.py (the reference-results generator)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+import run_experiments  # noqa: E402
+
+from repro.experiments.persistence import load_figure_run  # noqa: E402
+
+
+class TestRunExperimentsScript:
+    @pytest.fixture(scope="class")
+    def out_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("results")
+        argv = sys.argv
+        sys.argv = [
+            "run_experiments.py",
+            "--scale", "0.01",
+            "--datasets", "cdc",
+            "--targets", "1",
+            "--figures", "fig1,fig9",
+            "--out", str(out),
+        ]
+        try:
+            run_experiments.main()
+        finally:
+            sys.argv = argv
+        return out
+
+    def test_table2_artifacts(self, out_dir):
+        assert (out_dir / "table2.txt").exists()
+        rows = json.loads((out_dir / "table2.json").read_text())
+        assert len(rows) == 4
+
+    def test_selected_figures_only(self, out_dir):
+        produced = {p.stem for p in out_dir.glob("fig*.txt")}
+        assert produced == {"fig1", "fig9"}
+
+    def test_json_loads_into_compare_format(self, out_dir):
+        run = load_figure_run(out_dir / "fig1.json")
+        assert run.spec.figure_id == "fig1"
+        assert run.points
+
+    def test_summary_lines(self, out_dir):
+        lines = (out_dir / "summary.txt").read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["figure"] == "fig1"
+        assert "speedup_vs_exact" in first
+
+    def test_text_reports_render(self, out_dir):
+        text = (out_dir / "fig1.txt").read_text()
+        assert "dataset: cdc" in text
+        assert "x vs exact" in text

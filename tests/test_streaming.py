@@ -1,0 +1,110 @@
+"""Tests for the out-of-core streaming counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.exact import exact_entropies, exact_mutual_informations
+from repro.data.column_store import ColumnStore
+from repro.data.streaming import StreamingCounts, stream_csv_counts
+from repro.exceptions import DataFormatError, ParameterError, SchemaError
+
+
+class TestStreamingCounts:
+    def test_entropies_match_exact(self, small_store):
+        counts = StreamingCounts(list(small_store.attributes))
+        for row in range(small_store.num_rows):
+            counts.consume(
+                [int(small_store.column(a)[row]) for a in small_store.attributes]
+            )
+        exact = exact_entropies(small_store)
+        streamed = counts.entropies()
+        for name in exact:
+            assert streamed[name] == pytest.approx(exact[name])
+
+    def test_mi_matches_exact(self, correlated_store):
+        names = list(correlated_store.attributes)
+        counts = StreamingCounts(names, target="target")
+        for row in range(correlated_store.num_rows):
+            counts.consume(
+                [int(correlated_store.column(a)[row]) for a in names]
+            )
+        exact = exact_mutual_informations(correlated_store, "target")
+        streamed = counts.mutual_informations()
+        for name in exact:
+            assert streamed[name] == pytest.approx(exact[name])
+
+    def test_support_size_tracks_distinct_values(self):
+        counts = StreamingCounts(["a"])
+        for value in ["x", "y", "x", "z"]:
+            counts.consume([value])
+        assert counts.support_size("a") == 3
+        assert counts.num_rows == 4
+
+    def test_raw_values_allowed(self):
+        # The streaming layer never encodes: raw strings are fine.
+        counts = StreamingCounts(["a", "b"], target="a")
+        counts.consume(["hello", 3.5])
+        counts.consume(["hello", None])
+        assert counts.entropy("a") == 0.0
+        assert counts.entropy("b") == pytest.approx(1.0)
+
+    def test_errors(self):
+        with pytest.raises(ParameterError):
+            StreamingCounts([])
+        with pytest.raises(ParameterError):
+            StreamingCounts(["a", "a"])
+        with pytest.raises(SchemaError):
+            StreamingCounts(["a"], target="ghost")
+        counts = StreamingCounts(["a", "b"], target="a")
+        with pytest.raises(ParameterError):
+            counts.consume(["only one"])
+        with pytest.raises(SchemaError):
+            counts.entropy("ghost")
+        with pytest.raises(SchemaError):
+            counts.mutual_information("a")  # target with itself
+        no_target = StreamingCounts(["a"])
+        with pytest.raises(ParameterError, match="no target"):
+            no_target.mutual_information("a")
+
+
+class TestStreamCsv:
+    def test_matches_in_memory_pipeline(self, tmp_path):
+        rng = np.random.default_rng(3)
+        n = 2000
+        a = rng.integers(0, 10, n)
+        b = np.where(rng.random(n) < 0.7, a, rng.integers(0, 10, n))
+        path = tmp_path / "data.csv"
+        lines = ["a,b"] + [f"{x},{y}" for x, y in zip(a, b)]
+        path.write_text("\n".join(lines) + "\n")
+
+        counts = stream_csv_counts(path, target="a")
+        store = ColumnStore({"a": a, "b": b})
+        exact_h = exact_entropies(store)
+        assert counts.entropy("a") == pytest.approx(exact_h["a"])
+        assert counts.entropy("b") == pytest.approx(exact_h["b"])
+        exact_mi = exact_mutual_informations(store, "a")["b"]
+        assert counts.mutual_information("b") == pytest.approx(exact_mi)
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a\n1\n2\n3\n4\n")
+        counts = stream_csv_counts(path, max_rows=2)
+        assert counts.num_rows == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            stream_csv_counts(tmp_path / "ghost.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataFormatError):
+            stream_csv_counts(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(DataFormatError, match="row 3"):
+            stream_csv_counts(path)

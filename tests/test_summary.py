@@ -1,0 +1,64 @@
+"""Tests for the headline-summary extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import FigurePoint, FigureRun, FIGURES, run_figure
+from repro.experiments.summary import summarize_run
+
+
+@pytest.fixture(scope="module")
+def real_run():
+    return run_figure("fig1", datasets=["cdc"], scale=0.01, seed=0)
+
+
+class TestSummarizeRun:
+    def test_real_run(self, real_run):
+        summary = summarize_run(real_run)
+        assert summary.figure_id == "fig1"
+        assert set(summary.speedups) == {"entropy_rank", "exact"}
+        for lo, hi in summary.speedups.values():
+            assert 0 < lo <= hi
+        lo, hi = summary.swope_accuracy
+        assert 0 <= lo <= hi <= 1.0
+        assert summary.cost_range[0] <= summary.cost_range[1]
+
+    def test_line_rendering(self, real_run):
+        line = summarize_run(real_run).line()
+        assert line.startswith("fig1")
+        assert "vs exact" in line
+        assert "accuracy" in line
+
+    def test_swope_only_sweep_has_no_speedups(self):
+        run = run_figure("fig9", datasets=["cdc"], scale=0.01, seed=0)
+        summary = summarize_run(run)
+        assert summary.speedups == {}
+        assert "vs" not in summary.line()
+
+    def test_synthetic_numbers(self):
+        run = FigureRun(
+            spec=FIGURES["fig1"], datasets=["cdc"], scale=1.0, num_targets=1
+        )
+        for x in FIGURES["fig1"].x_values:
+            for algorithm, cells in (("swope", 100.0), ("entropy_rank", 400.0), ("exact", 1000.0)):
+                run.points.append(
+                    FigurePoint(
+                        dataset="cdc", x=float(x), algorithm=algorithm,
+                        seconds=0.01, cells_scanned=cells,
+                        sample_fraction=0.1, accuracy=0.9,
+                    )
+                )
+        summary = summarize_run(run)
+        assert summary.speedups["entropy_rank"] == (4.0, 4.0)
+        assert summary.speedups["exact"] == (10.0, 10.0)
+        assert summary.swope_accuracy == (0.9, 0.9)
+        assert summary.cost_range == (100.0, 100.0)
+
+    def test_no_swope_points_rejected(self):
+        run = FigureRun(
+            spec=FIGURES["fig1"], datasets=["cdc"], scale=1.0, num_targets=1
+        )
+        with pytest.raises(ParameterError, match="no SWOPE"):
+            summarize_run(run)

@@ -1,0 +1,112 @@
+"""Tests for MI target modes and the bench-report script."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.figures import run_figure
+from repro.synth.datasets import load_dataset
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+
+class TestRandomTargets:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset("cdc", scale=0.01)
+
+    def test_deterministic_given_seed(self, dataset):
+        assert dataset.random_targets(5, seed=3) == dataset.random_targets(5, seed=3)
+
+    def test_distinct_and_valid(self, dataset):
+        targets = dataset.random_targets(10, seed=1)
+        assert len(set(targets)) == 10
+        assert all(t in dataset.store for t in targets)
+
+    def test_count_validation(self, dataset):
+        with pytest.raises(ParameterError):
+            dataset.random_targets(0)
+        with pytest.raises(ParameterError):
+            dataset.random_targets(dataset.store.num_attributes + 1)
+
+    def test_run_figure_random_mode(self):
+        run = run_figure(
+            "fig5", datasets=["cdc"], scale=0.01, num_targets=1,
+            seed=0, target_mode="random",
+        )
+        assert len(run.points) == 15  # 5 ks x 3 algorithms
+
+    def test_run_figure_unknown_mode_rejected(self):
+        with pytest.raises(ParameterError, match="target_mode"):
+            run_figure("fig5", datasets=["cdc"], scale=0.01, target_mode="magic")
+
+    def test_engineered_and_random_may_differ(self, dataset):
+        engineered = set(dataset.mi_targets)
+        random = set(dataset.random_targets(5, seed=9))
+        # Not a strict inequality (random could hit a base), but the
+        # random picks must not be *defined* by the engineered list.
+        assert random - engineered or engineered - random
+
+
+class TestBenchReportScript:
+    @pytest.fixture()
+    def dump(self, tmp_path):
+        payload = {
+            "benchmarks": [
+                {
+                    "name": "test_fig01_entropy_topk_time[1-swope-cdc]",
+                    "stats": {"mean": 0.0123},
+                    "extra_info": {"cells_scanned": 1000, "accuracy": 1.0},
+                },
+                {
+                    "name": "test_fig01_entropy_topk_time[1-exact-cdc]",
+                    "stats": {"mean": 0.5},
+                    "extra_info": {"cells_scanned": 30000, "accuracy": 1.0},
+                },
+                {
+                    "name": "test_other_bench",
+                    "stats": {"mean": 120.0},
+                    "extra_info": {},
+                },
+            ]
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_render_groups_and_rows(self, dump):
+        import bench_report
+
+        text = bench_report.render(json.loads(dump.read_text()))
+        assert "fig01_entropy_topk_time (2 benchmarks)" in text
+        assert "1-swope-cdc" in text
+        assert "cells_scanned" in text
+        assert "30,000" in text
+        assert "12.3ms" in text
+        assert "120.0s" in text  # >100s path
+
+    def test_main_prints(self, dump, capsys):
+        import bench_report
+
+        assert bench_report.main([str(dump)]) == 0
+        assert "fig01" in capsys.readouterr().out
+
+    def test_main_missing_file(self, tmp_path, capsys):
+        import bench_report
+
+        assert bench_report.main([str(tmp_path / "ghost.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_main_invalid_json(self, tmp_path, capsys):
+        import bench_report
+
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        assert bench_report.main([str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

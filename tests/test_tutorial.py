@@ -1,0 +1,47 @@
+"""Executable-documentation test: every tutorial snippet must run.
+
+Extracts the ``python`` code fences from docs/TUTORIAL.md and executes
+them in order in one shared namespace (they build on each other), so the
+tutorial can never drift from the API.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+@pytest.fixture(scope="module")
+def snippets() -> list[str]:
+    text = TUTORIAL.read_text()
+    found = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(found) >= 8, "tutorial lost its code fences"
+    return found
+
+
+def test_tutorial_snippets_execute_in_order(snippets):
+    namespace: dict = {}
+    captured = io.StringIO()
+    with contextlib.redirect_stdout(captured):
+        for index, snippet in enumerate(snippets):
+            try:
+                exec(compile(snippet, f"<tutorial-{index}>", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                pytest.fail(f"tutorial snippet {index} failed: {exc}\n{snippet}")
+    output = captured.getvalue()
+    # The tutorial's printed walkthrough should include the dataset banner
+    # and at least one answer list.
+    assert "Dataset(" in output
+    assert "[" in output
+
+
+def test_tutorial_mentions_all_doc_siblings():
+    text = TUTORIAL.read_text()
+    for sibling in ("THEORY.md", "DATAGEN.md", "API.md"):
+        assert sibling in text
