@@ -44,10 +44,13 @@ from repro.baselines import (
 )
 from repro.core import (
     AttributeEstimate,
+    CancellationToken,
+    QueryBudget,
     QuerySession,
     QueryTrace,
     ConfidenceInterval,
     FilterResult,
+    GuaranteeStatus,
     MutualInformationInterval,
     RunStats,
     SampleSchedule,
@@ -67,9 +70,12 @@ from repro.data import (
     load_csv,
 )
 from repro.exceptions import (
+    BudgetExceededError,
     DataFormatError,
     EncodingError,
     ParameterError,
+    QueryCancelledError,
+    QueryInterruptedError,
     ReproError,
     SchemaError,
 )
@@ -80,6 +86,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AttributeEstimate",
+    "BudgetExceededError",
+    "CancellationToken",
     "CategoricalEncoder",
     "ColumnStore",
     "ConfidenceInterval",
@@ -87,9 +95,13 @@ __all__ = [
     "Dataset",
     "EncodingError",
     "FilterResult",
+    "GuaranteeStatus",
     "MutualInformationInterval",
     "ParameterError",
     "PrefixSampler",
+    "QueryBudget",
+    "QueryCancelledError",
+    "QueryInterruptedError",
     "QuerySession",
     "QueryTrace",
     "ReproError",

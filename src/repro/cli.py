@@ -8,7 +8,10 @@ Installed as the ``repro`` console script (also runnable as
 * ``repro figure fig1 [--datasets cdc,pus] [--scale 0.2] [--targets 2]``
   — run one paper figure and print its series;
 * ``repro query topk-entropy --dataset cdc -k 4`` — run a single query
-  and print the answer with run statistics.
+  and print the answer with run statistics; ``--timeout-ms``,
+  ``--max-cells``, ``--max-sample`` bound the run (degraded answers are
+  labelled with their guarantee status) and ``--strict`` turns budget
+  exhaustion into a failure exit.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.applications.feature_selection import (
     top_relevance_select,
 )
 from repro.core import (
+    QueryBudget,
     swope_filter_entropy,
     swope_filter_mutual_information,
     swope_top_k_entropy,
@@ -108,6 +112,24 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--epsilon", type=float, default=None)
     query.add_argument("--target", default=None, help="MI target attribute")
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="wall-clock budget; on expiry the query returns its"
+             " best-effort answer with guarantee status",
+    )
+    query.add_argument(
+        "--max-cells", type=int, default=None,
+        help="cap on attribute cells scanned by the query",
+    )
+    query.add_argument(
+        "--max-sample", type=int, default=None,
+        help="cap on the sample size the schedule may grow to",
+    )
+    query.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 2) instead of returning a degraded answer when"
+             " a budget limit fires",
+    )
 
     select = sub.add_parser(
         "select", help="run a feature-selection application"
@@ -195,21 +217,37 @@ def _cmd_query(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale)
     store = dataset.store
     target = args.target or dataset.mi_targets[0]
+    budget = None
+    if (
+        args.timeout_ms is not None
+        or args.max_cells is not None
+        or args.max_sample is not None
+    ):
+        budget = QueryBudget(
+            deadline_ms=args.timeout_ms,
+            max_cells=args.max_cells,
+            max_sample_size=args.max_sample,
+        )
+    resilience = {"budget": budget, "strict": args.strict}
     if args.kind == "topk-entropy":
         result = swope_top_k_entropy(
-            store, args.k, epsilon=args.epsilon or 0.1, seed=args.seed
+            store, args.k, epsilon=args.epsilon or 0.1, seed=args.seed,
+            **resilience,
         )
     elif args.kind == "filter-entropy":
         result = swope_filter_entropy(
-            store, args.eta, epsilon=args.epsilon or 0.05, seed=args.seed
+            store, args.eta, epsilon=args.epsilon or 0.05, seed=args.seed,
+            **resilience,
         )
     elif args.kind == "topk-mi":
         result = swope_top_k_mutual_information(
-            store, target, args.k, epsilon=args.epsilon or 0.5, seed=args.seed
+            store, target, args.k, epsilon=args.epsilon or 0.5, seed=args.seed,
+            **resilience,
         )
     else:
         result = swope_filter_mutual_information(
-            store, target, args.eta, epsilon=args.epsilon or 0.5, seed=args.seed
+            store, target, args.eta, epsilon=args.epsilon or 0.5, seed=args.seed,
+            **resilience,
         )
     stats = result.stats
     print(f"answer ({len(result.attributes)} attributes):")
@@ -227,6 +265,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f" ({stats.sample_fraction:.1%}), {stats.iterations} iterations,"
         f" {stats.cells_scanned:,} cells, {stats.wall_seconds:.3f}s"
     )
+    status = result.guarantee
+    if status is not None:
+        met = "met" if status.guarantee_met else "NOT met"
+        print(
+            f"guarantee: {met} ({status.stopping_reason}); epsilon"
+            f" requested={status.requested_epsilon:g}"
+            f" achieved={status.achieved_epsilon:g}"
+        )
+        if status.undecided:
+            print(f"  undecided: {', '.join(status.undecided)}")
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.core.bounds import (
     permutation_half_width,
     sample_size_for_width,
 )
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
     EntropyScoreProvider,
     IterationTrace,
@@ -42,18 +43,27 @@ from repro.core.estimators import (
 from repro.core.filtering import swope_filter_entropy
 from repro.core.mi_filtering import swope_filter_mutual_information
 from repro.core.mi_topk import swope_top_k_mutual_information
-from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+from repro.core.results import (
+    AttributeEstimate,
+    FilterResult,
+    GuaranteeStatus,
+    RunStats,
+    TopKResult,
+)
 from repro.core.schedule import SampleSchedule, initial_sample_size, max_iterations
 from repro.core.session import QuerySession
 from repro.core.topk import swope_top_k_entropy
 
 __all__ = [
     "AttributeEstimate",
+    "CancellationToken",
     "ConfidenceInterval",
     "EntropyScoreProvider",
     "FilterResult",
+    "GuaranteeStatus",
     "IterationTrace",
     "MutualInformationInterval",
+    "QueryBudget",
     "QuerySession",
     "QueryTrace",
     "MutualInformationScoreProvider",

@@ -23,6 +23,7 @@ interval *width* over the current answer set ``R``.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Protocol, Union
@@ -34,11 +35,23 @@ from repro.core.bounds import (
     joint_entropy_interval,
     mutual_information_interval,
 )
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.estimators import entropy_from_counts, joint_entropy_from_counter
-from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+from repro.core.results import (
+    AttributeEstimate,
+    FilterResult,
+    GuaranteeStatus,
+    RunStats,
+    TopKResult,
+)
 from repro.core.schedule import SampleSchedule
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import ParameterError, SchemaError
+from repro.exceptions import (
+    BudgetExceededError,
+    ParameterError,
+    QueryCancelledError,
+    SchemaError,
+)
 
 __all__ = [
     "EntropyScoreProvider",
@@ -62,17 +75,18 @@ Interval = Union[ConfidenceInterval, MutualInformationInterval]
 # Parameter validation shared by every public query function
 # ----------------------------------------------------------------------
 def validate_epsilon(epsilon: float) -> float:
-    """Check ``0 < ε < 1`` (Definitions 5–6) and return it."""
-    if not 0.0 < epsilon < 1.0:
-        raise ParameterError(f"epsilon must be in (0, 1), got {epsilon}")
+    """Check ``0 < ε < 1`` (Definitions 5–6), finite, and return it."""
+    if not math.isfinite(epsilon) or not 0.0 < epsilon < 1.0:
+        raise ParameterError(f"epsilon must be a finite value in (0, 1), got {epsilon}")
     return float(epsilon)
 
 
 def validate_failure_probability(failure_probability: float) -> float:
-    """Check ``0 < p_f < 1`` and return it."""
-    if not 0.0 < failure_probability < 1.0:
+    """Check ``0 < p_f < 1``, finite, and return it."""
+    if not math.isfinite(failure_probability) or not 0.0 < failure_probability < 1.0:
         raise ParameterError(
-            f"failure probability must be in (0, 1), got {failure_probability}"
+            f"failure probability must be a finite value in (0, 1),"
+            f" got {failure_probability}"
         )
     return float(failure_probability)
 
@@ -85,9 +99,15 @@ def validate_k(k: int) -> int:
 
 
 def validate_threshold(threshold: float) -> float:
-    """Check ``η >= 0`` (scores are non-negative) and return it."""
-    if threshold < 0.0:
-        raise ParameterError(f"threshold must be >= 0, got {threshold}")
+    """Check ``η >= 0`` (scores are non-negative), finite, and return it.
+
+    NaN and infinity are rejected explicitly: ``float("nan") < 0.0`` is
+    False, so a bare range check would admit a NaN threshold into the
+    filtering loop, where no interval comparison can ever decide an
+    attribute against it.
+    """
+    if not math.isfinite(threshold) or threshold < 0.0:
+        raise ParameterError(f"threshold must be finite and >= 0, got {threshold}")
     return float(threshold)
 
 
@@ -280,6 +300,7 @@ class _LoopContext:
     sampler: PrefixSampler
     stats: RunStats
     started_at: float
+    cells_at_start: int = 0
 
     def finish(self, iterations: int, sample_size: int) -> RunStats:
         self.stats.iterations = iterations
@@ -288,6 +309,47 @@ class _LoopContext:
         self.stats.cells_scanned = self.sampler.cells_scanned
         self.stats.wall_seconds = time.perf_counter() - self.started_at
         return self.stats
+
+    def interruption(
+        self,
+        budget: QueryBudget | None,
+        cancellation: CancellationToken | None,
+        next_sample_size: int,
+    ) -> str | None:
+        """Stopping reason forced by cancellation or the budget, if any.
+
+        Called once per adaptive iteration, between completing one
+        sample size and growing to the next, so every query completes at
+        least one iteration and always holds valid intervals to answer
+        from. Cancellation is an explicit caller request and takes
+        precedence over budget limits. The cell budget is measured
+        against this query's own reads (``cells_at_start`` delta), so a
+        session-shared sampler is budgeted per query, not cumulatively.
+        """
+        if cancellation is not None and cancellation.cancelled:
+            return "cancelled"
+        if budget is None:
+            return None
+        return budget.exhausted(
+            elapsed_seconds=time.perf_counter() - self.started_at,
+            cells_used=self.sampler.cells_scanned - self.cells_at_start,
+            next_sample_size=next_sample_size,
+        )
+
+
+def _raise_interrupted(reason: str, partial: TopKResult | FilterResult) -> None:
+    """Strict mode: surface a truncated run as an exception."""
+    if reason == "cancelled":
+        raise QueryCancelledError(
+            "query cancelled before its stopping rule fired",
+            stopping_reason=reason,
+            partial=partial,
+        )
+    raise BudgetExceededError(
+        f"query budget exhausted ({reason}) before the stopping rule fired",
+        stopping_reason=reason,
+        partial=partial,
+    )
 
 
 def _estimate_from_interval(
@@ -318,6 +380,9 @@ def adaptive_top_k(
     prune: bool = True,
     target: str | None = None,
     trace: QueryTrace | None = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> TopKResult:
     """Generic SWOPE approximate top-k loop (Algorithms 1 and 3).
 
@@ -341,6 +406,19 @@ def adaptive_top_k(
         ablation benches switch this off.
     target:
         Recorded on the result for MI queries.
+    budget:
+        Optional :class:`~repro.core.budget.QueryBudget` checked once
+        per iteration; on exhaustion the loop returns a best-effort
+        answer built from the current intervals (still valid Lemma 3
+        bounds) with ``result.guarantee`` recording why it stopped.
+    cancellation:
+        Optional :class:`~repro.core.budget.CancellationToken` observed
+        at the same per-iteration checkpoint.
+    strict:
+        Raise :class:`~repro.exceptions.BudgetExceededError` /
+        :class:`~repro.exceptions.QueryCancelledError` (carrying the
+        best-effort result as ``.partial``) instead of returning a
+        degraded answer.
 
     Notes
     -----
@@ -357,10 +435,13 @@ def adaptive_top_k(
     if not candidates:
         raise ParameterError("top-k query needs at least one candidate attribute")
     k_effective = min(k, len(candidates))
-    ctx = _LoopContext(sampler, RunStats(), time.perf_counter())
+    ctx = _LoopContext(
+        sampler, RunStats(), time.perf_counter(), sampler.cells_scanned
+    )
     live = list(candidates)
     iterations = 0
     answer: list[tuple[str, Interval]] = []
+    stop_reason: str | None = None
     sample_size = schedule.sizes[0]
     for index, sample_size in enumerate(schedule.sizes):
         iterations += 1
@@ -382,11 +463,15 @@ def adaptive_top_k(
                 )
             )
         if stopped:
+            stop_reason = "converged"
             break
         if index == len(schedule.sizes) - 1:
             # M reached N: λ = b = 0 so the condition above must have fired
             # unless upper_k <= 0, which also fired. Defensive only.
             break  # pragma: no cover
+        stop_reason = ctx.interruption(budget, cancellation, schedule.sizes[index + 1])
+        if stop_reason is not None:
+            break
         if prune and len(live) > k_effective:
             lower_k = _kth_largest([intervals[a].lower for a in live], k_effective)
             survivors = [a for a in live if intervals[a].upper >= lower_k]
@@ -398,13 +483,30 @@ def adaptive_top_k(
     estimates = [
         _estimate_from_interval(a, iv, sample_size) for a, iv in answer
     ]
-    return TopKResult(
+    reason = stop_reason if stop_reason is not None else "converged"
+    # Back-solve the achieved ε from the stopping quantity: the answer
+    # satisfies Definition 5 with ε' = w_max / Ū_k (0 when every
+    # remaining score is exactly zero).
+    upper_k = answer[-1][1].upper
+    width_max = max(iv.width for _, iv in answer)
+    achieved = 0.0 if upper_k <= 0.0 else width_max / upper_k
+    guarantee = GuaranteeStatus(
+        guarantee_met=reason == "converged",
+        stopping_reason=reason,
+        requested_epsilon=epsilon,
+        achieved_epsilon=achieved,
+    )
+    result = TopKResult(
         attributes=[a for a, _ in answer],
         estimates=estimates,
         stats=stats,
         k=k,
         target=target,
+        guarantee=guarantee,
     )
+    if strict and not guarantee.guarantee_met:
+        _raise_interrupted(reason, result)
+    return result
 
 
 def adaptive_filter(
@@ -417,6 +519,9 @@ def adaptive_filter(
     *,
     target: str | None = None,
     trace: QueryTrace | None = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> FilterResult:
     """Generic SWOPE approximate filtering loop (Algorithms 2 and 4).
 
@@ -429,19 +534,26 @@ def adaptive_filter(
 
     The loop ends when no attribute is undecided or the sample is the whole
     dataset (at which point widths are zero and rule 1 or 2 retires
-    everything).
+    everything). ``budget``/``cancellation``/``strict`` behave as in
+    :func:`adaptive_top_k`; a truncated run resolves the still-undecided
+    attributes best-effort by interval midpoint and lists them in
+    ``result.guarantee.undecided``.
     """
     epsilon = validate_epsilon(epsilon)
     threshold = validate_threshold(threshold)
     if not candidates:
         raise ParameterError("filtering query needs at least one candidate attribute")
-    ctx = _LoopContext(sampler, RunStats(), time.perf_counter())
+    ctx = _LoopContext(
+        sampler, RunStats(), time.perf_counter(), sampler.cells_scanned
+    )
     undecided = list(candidates)
     included: list[str] = []
     estimates: dict[str, AttributeEstimate] = {}
+    last_intervals: dict[str, Interval] = {}
     iterations = 0
+    stop_reason: str | None = None
     sample_size = schedule.sizes[0]
-    for sample_size in schedule.sizes:
+    for index, sample_size in enumerate(schedule.sizes):
         iterations += 1
         still: list[str] = []
         snapshot = (
@@ -455,6 +567,7 @@ def adaptive_filter(
         )
         for attribute in undecided:
             iv = provider.interval(attribute, sample_size)
+            last_intervals[attribute] = iv
             if snapshot is not None:
                 snapshot.bounds[attribute] = (iv.lower, iv.upper)
             decided = True
@@ -480,17 +593,54 @@ def adaptive_filter(
             snapshot.stopped = not undecided
             trace.iterations.append(snapshot)
         if not undecided:
+            stop_reason = "converged"
             break
-    # At M = N all widths are 0, so rule 1 (η > 0) or rule 2 (η = 0)
-    # retires every attribute; reaching here with undecided attributes
-    # would indicate a bounds bug.
-    assert not undecided, "filtering loop ended with undecided attributes"
+        if index < len(schedule.sizes) - 1:
+            stop_reason = ctx.interruption(
+                budget, cancellation, schedule.sizes[index + 1]
+            )
+            if stop_reason is not None:
+                break
+    if stop_reason is None:
+        # At M = N all widths are 0, so rule 1 (η > 0) or rule 2 (η = 0)
+        # retires every attribute; reaching here with undecided attributes
+        # would indicate a bounds bug.
+        assert not undecided, "filtering loop ended with undecided attributes"
+        stop_reason = "converged"
+    undecided_at_stop = tuple(undecided)
+    for attribute in undecided_at_stop:
+        # Best-effort resolution of the attributes the budget cut off:
+        # decide by midpoint, keep the (still valid) current interval.
+        iv = last_intervals[attribute]
+        if iv.midpoint >= threshold:
+            included.append(attribute)
+        estimates[attribute] = _estimate_from_interval(attribute, iv, sample_size)
+    achieved = epsilon
+    if undecided_at_stop:
+        if threshold > 0.0:
+            # Smallest ε' whose width rule (width < 2ε'η) would have
+            # decided every remaining attribute at the final intervals.
+            worst = max(last_intervals[a].width for a in undecided_at_stop)
+            achieved = max(epsilon, worst / (2.0 * threshold))
+        else:  # pragma: no cover - η = 0 decides every attribute instantly
+            achieved = float("inf")
+    guarantee = GuaranteeStatus(
+        guarantee_met=stop_reason == "converged",
+        stopping_reason=stop_reason,
+        requested_epsilon=epsilon,
+        achieved_epsilon=achieved,
+        undecided=undecided_at_stop,
+    )
     included.sort(key=lambda a: estimates[a].estimate, reverse=True)
     stats = ctx.finish(iterations, sample_size)
-    return FilterResult(
+    result = FilterResult(
         attributes=included,
         estimates=estimates,
         stats=stats,
         threshold=threshold,
         target=target,
+        guarantee=guarantee,
     )
+    if strict and not guarantee.guarantee_met:
+        _raise_interrupted(stop_reason, result)
+    return result

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
     QueryTrace,
     EntropyScoreProvider,
@@ -43,6 +44,9 @@ def swope_filter_entropy(
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
     trace: "QueryTrace | None" = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> FilterResult:
     """Answer an approximate entropy filtering query with SWOPE (Algorithm 2).
 
@@ -65,12 +69,18 @@ def swope_filter_entropy(
         Override the sample-size schedule.
     sampler:
         Provide a pre-built sampler (sequential sampling, shared counters).
+    budget, cancellation, strict:
+        Resilience controls as in
+        :func:`repro.core.topk.swope_top_k_entropy`; a truncated run
+        resolves still-undecided attributes by interval midpoint and
+        lists them in ``result.guarantee.undecided``.
 
     Returns
     -------
     FilterResult
         The included attributes ordered by decreasing estimate, estimates
-        for every examined attribute, and run statistics.
+        for every examined attribute, run statistics, and the
+        :class:`~repro.core.results.GuaranteeStatus` of the run.
     """
     names = list(attributes) if attributes is not None else list(store.attributes)
     unknown = [a for a in names if a not in store]
@@ -90,5 +100,6 @@ def swope_filter_entropy(
     per_bound = schedule.per_round_failure(failure_probability, len(names))
     provider = EntropyScoreProvider(sampler, per_bound)
     return adaptive_filter(
-        provider, sampler, names, threshold, epsilon, schedule, trace=trace
+        provider, sampler, names, threshold, epsilon, schedule, trace=trace,
+        budget=budget, cancellation=cancellation, strict=strict,
     )

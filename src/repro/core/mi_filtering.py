@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
     QueryTrace,
     MutualInformationScoreProvider,
@@ -38,6 +39,9 @@ def swope_filter_mutual_information(
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
     trace: "QueryTrace | None" = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> FilterResult:
     """Answer an approximate MI filtering query with SWOPE (Algorithm 4).
 
@@ -56,6 +60,9 @@ def swope_filter_mutual_information(
         ``p_f``; defaults to the paper's ``1/N``.
     seed, candidates, schedule, sampler:
         As in :func:`repro.core.mi_topk.swope_top_k_mutual_information`.
+    budget, cancellation, strict:
+        Resilience controls as in
+        :func:`repro.core.filtering.swope_filter_entropy`.
     """
     if target not in store:
         raise SchemaError(f"unknown target attribute {target!r}")
@@ -92,4 +99,5 @@ def swope_filter_mutual_information(
     return adaptive_filter(
         provider, sampler, names, threshold, epsilon, schedule,
         target=target, trace=trace,
+        budget=budget, cancellation=cancellation, strict=strict,
     )

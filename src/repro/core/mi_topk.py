@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
     QueryTrace,
     MutualInformationScoreProvider,
@@ -45,6 +46,9 @@ def swope_top_k_mutual_information(
     sampler: PrefixSampler | None = None,
     prune: bool = True,
     trace: "QueryTrace | None" = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> TopKResult:
     """Answer an approximate MI top-k query with SWOPE (Algorithm 3).
 
@@ -66,7 +70,7 @@ def swope_top_k_mutual_information(
     candidates:
         Restrict the candidate set (default: all attributes except
         ``target``).
-    schedule, sampler, prune:
+    schedule, sampler, prune, budget, cancellation, strict:
         As in :func:`repro.core.topk.swope_top_k_entropy`.
 
     Returns
@@ -107,4 +111,5 @@ def swope_top_k_mutual_information(
     return adaptive_top_k(
         provider, sampler, names, k, epsilon, schedule, prune=prune,
         target=target, trace=trace,
+        budget=budget, cancellation=cancellation, strict=strict,
     )

@@ -11,7 +11,78 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["AttributeEstimate", "RunStats", "TopKResult", "FilterResult"]
+__all__ = [
+    "AttributeEstimate",
+    "GuaranteeStatus",
+    "RunStats",
+    "STOPPING_REASONS",
+    "TopKResult",
+    "FilterResult",
+]
+
+#: Why an adaptive run returned, in the engine's precedence order.
+STOPPING_REASONS = ("converged", "deadline", "cell_budget", "sample_cap", "cancelled")
+
+
+@dataclass(frozen=True)
+class GuaranteeStatus:
+    """Whether a query delivered its Definition 5/6 guarantee, and if not, why.
+
+    Every SWOPE query result carries one of these. An unbudgeted,
+    uncancelled run always reports ``stopping_reason="converged"`` and
+    ``guarantee_met=True``; a run truncated by a
+    :class:`~repro.core.budget.QueryBudget` or a
+    :class:`~repro.core.budget.CancellationToken` reports the limit that
+    fired and the error parameter it *actually* achieved, back-solved
+    from the final interval widths.
+
+    Attributes
+    ----------
+    guarantee_met:
+        True iff the paper's stopping rule fired (equivalently,
+        ``stopping_reason == "converged"``).
+    stopping_reason:
+        One of :data:`STOPPING_REASONS`: ``converged`` (the stopping
+        rule fired), ``deadline`` (wall-clock budget), ``cell_budget``
+        (cells-scanned budget), ``sample_cap`` (sample-size budget), or
+        ``cancelled`` (cooperative cancellation).
+    requested_epsilon:
+        The ``ε`` the caller asked for.
+    achieved_epsilon:
+        The smallest ``ε`` for which the returned answer satisfies the
+        Definition 5/6 contract given the final intervals. For top-k
+        this is ``w_max / Ū_k`` (the stopping quantity itself), so a
+        converged run reports a value ``<= requested_epsilon``; a
+        truncated run reports the (larger, but still finite and valid)
+        value the intervals support. For filtering, converged runs
+        report the requested ``ε`` and truncated runs the width-implied
+        ``max(ε, w_max / 2η)`` over the undecided attributes.
+    undecided:
+        Filtering only: attributes whose interval still straddled the
+        threshold band when the run stopped. They are resolved
+        best-effort (by interval midpoint) in the returned answer, but
+        carry no Definition 6 guarantee. Empty for top-k queries and for
+        converged runs.
+    """
+
+    guarantee_met: bool
+    stopping_reason: str
+    requested_epsilon: float
+    achieved_epsilon: float
+    undecided: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.stopping_reason not in STOPPING_REASONS:
+            raise ValueError(
+                f"unknown stopping reason {self.stopping_reason!r};"
+                f" expected one of {STOPPING_REASONS}"
+            )
+        if self.guarantee_met != (self.stopping_reason == "converged"):
+            raise ValueError(
+                "guarantee_met must mirror stopping_reason == 'converged';"
+                f" got guarantee_met={self.guarantee_met} with"
+                f" stopping_reason={self.stopping_reason!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -106,6 +177,10 @@ class TopKResult:
     k:
         The requested ``k`` (may exceed ``len(attributes)`` when the
         dataset has fewer candidates than ``k``).
+    guarantee:
+        :class:`GuaranteeStatus` of the run. Always set by the SWOPE
+        queries; ``None`` for exact/baseline algorithms, which have no
+        sampling guarantee to report.
     """
 
     attributes: list[str]
@@ -113,6 +188,7 @@ class TopKResult:
     stats: RunStats
     k: int
     target: str | None = None
+    guarantee: GuaranteeStatus | None = None
 
     def __post_init__(self) -> None:
         if len(self.attributes) != len(self.estimates):
@@ -152,6 +228,10 @@ class FilterResult:
         The query threshold ``η``.
     target:
         The target attribute for MI queries; ``None`` for entropy.
+    guarantee:
+        :class:`GuaranteeStatus` of the run (``None`` for baselines).
+        Truncated runs list their unresolved attributes in
+        ``guarantee.undecided``.
     """
 
     attributes: list[str]
@@ -159,6 +239,7 @@ class FilterResult:
     stats: RunStats = field(default_factory=RunStats)
     threshold: float = 0.0
     target: str | None = None
+    guarantee: GuaranteeStatus | None = None
 
     def __contains__(self, attribute: object) -> bool:
         return attribute in set(self.attributes)

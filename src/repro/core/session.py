@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import QueryBudget
 from repro.core.engine import default_failure_probability
 from repro.core.filtering import swope_filter_entropy
+from repro.exceptions import QueryInterruptedError
 from repro.core.mi_filtering import swope_filter_mutual_information
 from repro.core.mi_topk import swope_top_k_mutual_information
 from repro.core.results import FilterResult, TopKResult
@@ -65,6 +67,12 @@ class QuerySession:
     failure_probability:
         ``p_f`` used by every query of the session (default: the paper's
         ``1/N``).
+    budget:
+        Default :class:`~repro.core.budget.QueryBudget` applied to every
+        query of the session. Any query can override it by passing its
+        own ``budget=`` (including ``budget=None`` to lift the limit for
+        that query). Truncated queries still ratchet the sample floor —
+        the prefix counters they grew stay valid for later queries.
     """
 
     def __init__(
@@ -74,6 +82,7 @@ class QuerySession:
         seed: int | np.random.Generator | None = None,
         sequential: bool = False,
         failure_probability: float | None = None,
+        budget: QueryBudget | None = None,
     ) -> None:
         self._store = store
         self._sampler = PrefixSampler(
@@ -84,6 +93,7 @@ class QuerySession:
             if failure_probability is not None
             else default_failure_probability(store.num_rows)
         )
+        self._budget = budget
         self._floor = 0  # largest M any query has reached so far
         self._queries_run = 0
         self._last_cells = 0
@@ -113,6 +123,11 @@ class QuerySession:
         """Cells added by the most recent query (0 before any query)."""
         return self._last_cells
 
+    @property
+    def default_budget(self) -> QueryBudget | None:
+        """The session-wide budget applied when a query passes none."""
+        return self._budget
+
     # ------------------------------------------------------------------
     def _schedule(self, num_attributes: int, max_support: int) -> SampleSchedule:
         """A paper schedule whose start is ratcheted to the session floor."""
@@ -133,7 +148,17 @@ class QuerySession:
             len(names), max(self._store.support_size(a) for a in names)
         )
         before = self._sampler.cells_scanned
-        result = runner(schedule)
+        try:
+            result = runner(schedule)
+        except QueryInterruptedError as exc:
+            # Strict-mode truncation: the shared prefix counters have
+            # already grown, so the floor must ratchet to the partial
+            # result's sample size or a later query would ask the
+            # sampler to shrink a prefix.
+            if exc.partial is not None:
+                self._floor = max(self._floor, exc.partial.stats.final_sample_size)
+            self._last_cells = self._sampler.cells_scanned - before
+            raise
         self._queries_run += 1
         self._last_cells = self._sampler.cells_scanned - before
         self._floor = max(self._floor, result.stats.final_sample_size)
@@ -147,6 +172,7 @@ class QuerySession:
         off by default — pruning would release shared counters."""
         names = kwargs.pop("attributes", None) or list(self._store.attributes)
         kwargs.setdefault("prune", False)
+        kwargs.setdefault("budget", self._budget)
         return self._run(
             lambda schedule: swope_top_k_entropy(
                 self._store, k, attributes=names, sampler=self._sampler,
@@ -158,6 +184,7 @@ class QuerySession:
     def filter_entropy(self, threshold: float, **kwargs) -> FilterResult:
         """Algorithm 2 over the shared sampler."""
         names = kwargs.pop("attributes", None) or list(self._store.attributes)
+        kwargs.setdefault("budget", self._budget)
         return self._run(
             lambda schedule: swope_filter_entropy(
                 self._store, threshold, attributes=names, sampler=self._sampler,
@@ -172,6 +199,7 @@ class QuerySession:
             a for a in self._store.attributes if a != target
         ]
         kwargs.setdefault("prune", False)
+        kwargs.setdefault("budget", self._budget)
         return self._run(
             lambda schedule: swope_top_k_mutual_information(
                 self._store, target, k, candidates=names, sampler=self._sampler,
@@ -187,6 +215,7 @@ class QuerySession:
         names = kwargs.pop("candidates", None) or [
             a for a in self._store.attributes if a != target
         ]
+        kwargs.setdefault("budget", self._budget)
         return self._run(
             lambda schedule: swope_filter_mutual_information(
                 self._store, target, threshold, candidates=names,

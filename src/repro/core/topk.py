@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
     QueryTrace,
     EntropyScoreProvider,
@@ -47,6 +48,9 @@ def swope_top_k_entropy(
     sampler: PrefixSampler | None = None,
     prune: bool = True,
     trace: "QueryTrace | None" = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> TopKResult:
     """Answer an approximate entropy top-k query with SWOPE (Algorithm 1).
 
@@ -74,12 +78,23 @@ def swope_top_k_entropy(
         sequential (non-shuffled) sampling or shared counters.
     prune:
         Apply candidate pruning (Algorithm 1, lines 15–17).
+    budget:
+        Optional :class:`~repro.core.budget.QueryBudget` (deadline,
+        cell, and sample-size limits) checked once per iteration.
+    cancellation:
+        Optional :class:`~repro.core.budget.CancellationToken` for
+        cooperative cancellation from another thread.
+    strict:
+        Raise :class:`~repro.exceptions.BudgetExceededError` /
+        :class:`~repro.exceptions.QueryCancelledError` on truncation
+        instead of returning a best-effort result.
 
     Returns
     -------
     TopKResult
         Returned attributes in decreasing order of their upper bounds,
-        with per-attribute estimates and run statistics.
+        with per-attribute estimates, run statistics, and the
+        :class:`~repro.core.results.GuaranteeStatus` of the run.
     """
     names = list(attributes) if attributes is not None else list(store.attributes)
     unknown = [a for a in names if a not in store]
@@ -99,5 +114,6 @@ def swope_top_k_entropy(
     per_bound = schedule.per_round_failure(failure_probability, len(names))
     provider = EntropyScoreProvider(sampler, per_bound)
     return adaptive_top_k(
-        provider, sampler, names, k, epsilon, schedule, prune=prune, trace=trace
+        provider, sampler, names, k, epsilon, schedule, prune=prune, trace=trace,
+        budget=budget, cancellation=cancellation, strict=strict,
     )

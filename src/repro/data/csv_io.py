@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from repro.data.column_store import ColumnStore
 from repro.data.encoding import CategoricalEncoder
 from repro.exceptions import DataFormatError
+from repro.testing.faults import retry_with_backoff
 
 __all__ = ["load_csv", "save_npz", "load_npz"]
 
@@ -30,6 +32,9 @@ def load_csv(
     delimiter: str = ",",
     max_rows: int | None = None,
     usecols: list[str] | None = None,
+    opener: Callable[[Path], object] | None = None,
+    max_retries: int = 0,
+    retry_base_delay_s: float = 0.05,
 ) -> tuple[ColumnStore, CategoricalEncoder]:
     """Load a headered CSV file into an encoded columnar store.
 
@@ -43,6 +48,16 @@ def load_csv(
         Optional cap on the number of data rows read.
     usecols:
         Optional subset of columns to keep (by header name).
+    opener:
+        Callable ``path -> file-like`` replacing the default
+        ``path.open(newline="")`` — the injection point for
+        :class:`~repro.testing.faults.FlakyReader`.
+    max_retries:
+        When > 0, transient ``OSError`` failures restart the load via
+        :func:`~repro.testing.faults.retry_with_backoff`; format errors
+        are not retryable and surface immediately.
+    retry_base_delay_s:
+        Backoff base delay for the retry wrapper.
 
     Returns
     -------
@@ -59,35 +74,48 @@ def load_csv(
     path = Path(path)
     if not path.exists():
         raise DataFormatError(f"no such file: {path}")
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise DataFormatError(f"{path} is empty") from None
-        header = [name.strip() for name in header]
-        if len(set(header)) != len(header):
-            raise DataFormatError(f"{path} has duplicate column names in header")
-        if usecols is not None:
-            unknown = [c for c in usecols if c not in header]
-            if unknown:
-                raise DataFormatError(f"{path}: unknown columns requested: {unknown}")
-            keep_idx = [header.index(c) for c in usecols]
-            kept_names = list(usecols)
-        else:
-            keep_idx = list(range(len(header)))
-            kept_names = header
-        raw: list[list[str]] = [[] for _ in keep_idx]
-        for row_number, row in enumerate(reader):
-            if max_rows is not None and row_number >= max_rows:
-                break
-            if len(row) != len(header):
-                raise DataFormatError(
-                    f"{path}: row {row_number + 2} has {len(row)} fields,"
-                    f" expected {len(header)}"
-                )
-            for slot, col_idx in enumerate(keep_idx):
-                raw[slot].append(row[col_idx])
+    open_file = opener if opener is not None else lambda p: p.open(newline="")
+
+    def _read_columns() -> tuple[list[str], list[list[str]]]:
+        with open_file(path) as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise DataFormatError(f"{path} is empty") from None
+            header = [name.strip() for name in header]
+            if len(set(header)) != len(header):
+                raise DataFormatError(f"{path} has duplicate column names in header")
+            if usecols is not None:
+                unknown = [c for c in usecols if c not in header]
+                if unknown:
+                    raise DataFormatError(
+                        f"{path}: unknown columns requested: {unknown}"
+                    )
+                keep_idx = [header.index(c) for c in usecols]
+                kept_names = list(usecols)
+            else:
+                keep_idx = list(range(len(header)))
+                kept_names = header
+            raw: list[list[str]] = [[] for _ in keep_idx]
+            for row_number, row in enumerate(reader):
+                if max_rows is not None and row_number >= max_rows:
+                    break
+                if len(row) != len(header):
+                    raise DataFormatError(
+                        f"{path}: row {row_number + 2} has {len(row)} fields,"
+                        f" expected {len(header)}"
+                    )
+                for slot, col_idx in enumerate(keep_idx):
+                    raw[slot].append(row[col_idx])
+        return kept_names, raw
+
+    if max_retries > 0:
+        kept_names, raw = retry_with_backoff(
+            _read_columns, max_retries=max_retries, base_delay_s=retry_base_delay_s
+        )
+    else:
+        kept_names, raw = _read_columns()
     if not raw or not raw[0]:
         raise DataFormatError(f"{path} contains a header but no data rows")
     encoder = CategoricalEncoder()

@@ -15,13 +15,16 @@ datasets where even materialising the encoded columns is unattractive.
 from __future__ import annotations
 
 import csv
+import warnings
 from collections import Counter
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from repro.core.estimators import entropy_from_counts
 from repro.exceptions import DataFormatError, ParameterError, SchemaError
+from repro.testing.faults import retry_with_backoff
 
 __all__ = ["StreamingCounts", "stream_csv_counts"]
 
@@ -48,6 +51,7 @@ class StreamingCounts:
         self._attributes = list(attributes)
         self._target = target
         self._rows = 0
+        self._bad_rows = 0
         self._marginals: dict[str, Counter] = {a: Counter() for a in attributes}
         self._joints: dict[str, Counter] | None = None
         if target is not None:
@@ -63,6 +67,15 @@ class StreamingCounts:
     def attributes(self) -> list[str]:
         """The tracked attribute names."""
         return list(self._attributes)
+
+    @property
+    def bad_rows(self) -> int:
+        """Malformed rows skipped during ingestion (see ``on_bad_row``)."""
+        return self._bad_rows
+
+    def record_bad_row(self) -> None:
+        """Count one malformed input row that was skipped, not consumed."""
+        self._bad_rows += 1
 
     def consume(self, row: list[object]) -> None:
         """Add one record (values aligned with ``attributes``)."""
@@ -131,36 +144,88 @@ class StreamingCounts:
         return {name: self.mutual_information(name) for name in self._joints}
 
 
+_BAD_ROW_POLICIES = ("raise", "skip", "warn")
+
+
 def stream_csv_counts(
     path: str | Path,
     *,
     target: str | None = None,
     delimiter: str = ",",
     max_rows: int | None = None,
+    on_bad_row: str = "raise",
+    opener: Callable[[Path], object] | None = None,
+    max_retries: int = 0,
+    retry_base_delay_s: float = 0.05,
 ) -> StreamingCounts:
     """One bounded-memory pass over a headered CSV.
 
     Returns the filled :class:`StreamingCounts`; memory use is
     proportional to the number of *distinct* values (and distinct
     target-pairs), never to the number of rows.
+
+    Parameters
+    ----------
+    on_bad_row:
+        What to do with a ragged row (wrong field count): ``"raise"``
+        (default) aborts with :class:`~repro.exceptions.DataFormatError`,
+        ``"skip"`` drops it silently, ``"warn"`` drops it with a
+        :class:`UserWarning`. Skipped rows are tallied in
+        :attr:`StreamingCounts.bad_rows` and do not count against
+        ``max_rows`` — one ragged record no longer aborts a 33M-row
+        ingestion pass.
+    opener:
+        Callable ``path -> file-like`` replacing the default
+        ``path.open(newline="")`` — the injection point for
+        :class:`~repro.testing.faults.FlakyReader`.
+    max_retries:
+        When > 0, transient ``OSError`` failures restart the whole pass
+        (fresh counts, so nothing is double-counted) via
+        :func:`~repro.testing.faults.retry_with_backoff`, up to this
+        many retries. Malformed-input errors are not retryable and
+        surface immediately.
+    retry_base_delay_s:
+        Backoff base delay for the retry wrapper.
     """
+    if on_bad_row not in _BAD_ROW_POLICIES:
+        raise ParameterError(
+            f"on_bad_row must be one of {_BAD_ROW_POLICIES}, got {on_bad_row!r}"
+        )
     path = Path(path)
     if not path.exists():
         raise DataFormatError(f"no such file: {path}")
-    with path.open(newline="") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
-        try:
-            header = [name.strip() for name in next(reader)]
-        except StopIteration:
-            raise DataFormatError(f"{path} is empty") from None
-        counts = StreamingCounts(header, target=target)
-        for row_number, row in enumerate(reader):
-            if max_rows is not None and row_number >= max_rows:
-                break
-            if len(row) != len(header):
-                raise DataFormatError(
-                    f"{path}: row {row_number + 2} has {len(row)} fields,"
-                    f" expected {len(header)}"
-                )
-            counts.consume(row)
-    return counts
+    open_file = opener if opener is not None else lambda p: p.open(newline="")
+
+    def _one_pass() -> StreamingCounts:
+        with open_file(path) as handle:
+            reader = csv.reader(handle, delimiter=delimiter)
+            try:
+                header = [name.strip() for name in next(reader)]
+            except StopIteration:
+                raise DataFormatError(f"{path} is empty") from None
+            counts = StreamingCounts(header, target=target)
+            for row_number, row in enumerate(reader):
+                if max_rows is not None and counts.num_rows >= max_rows:
+                    break
+                if len(row) != len(header):
+                    if on_bad_row == "raise":
+                        raise DataFormatError(
+                            f"{path}: row {row_number + 2} has {len(row)} fields,"
+                            f" expected {len(header)}"
+                        )
+                    if on_bad_row == "warn":
+                        warnings.warn(
+                            f"{path}: skipping row {row_number + 2} with"
+                            f" {len(row)} fields (expected {len(header)})",
+                            stacklevel=3,
+                        )
+                    counts.record_bad_row()
+                    continue
+                counts.consume(row)
+        return counts
+
+    if max_retries > 0:
+        return retry_with_backoff(
+            _one_pass, max_retries=max_retries, base_delay_s=retry_base_delay_s
+        )
+    return _one_pass()

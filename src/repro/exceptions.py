@@ -34,3 +34,43 @@ class ParameterError(ReproError):
 
 class DataFormatError(ReproError):
     """An input file (CSV or cached ``.npz``) could not be parsed."""
+
+
+class QueryInterruptedError(ReproError):
+    """A query stopped before its stopping rule fired (strict mode only).
+
+    Raised only when a query runs with ``strict=True``; the default
+    behaviour on budget exhaustion or cancellation is to *return* a
+    best-effort result whose :class:`~repro.core.results.GuaranteeStatus`
+    records why the run stopped.
+
+    Attributes
+    ----------
+    stopping_reason:
+        Why the run stopped (``"deadline"``, ``"cell_budget"``,
+        ``"sample_cap"``, or ``"cancelled"``).
+    partial:
+        The best-effort :class:`~repro.core.results.TopKResult` /
+        :class:`~repro.core.results.FilterResult` the query would have
+        returned in non-strict mode (``None`` when unavailable).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stopping_reason: str | None = None,
+        partial: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stopping_reason = stopping_reason
+        self.partial = partial
+
+
+class BudgetExceededError(QueryInterruptedError):
+    """A strict-mode query exhausted its :class:`~repro.core.budget.QueryBudget`."""
+
+
+class QueryCancelledError(QueryInterruptedError):
+    """A strict-mode query was cancelled through its
+    :class:`~repro.core.budget.CancellationToken`."""

@@ -1,0 +1,10 @@
+"""Fault-injection and resilience-testing utilities.
+
+These helpers live inside the package (not under ``tests/``) so that
+downstream users can exercise their own pipelines against injected I/O
+faults the same way this repository's test suite does.
+"""
+
+from repro.testing.faults import FlakyReader, FlakyStore, retry_with_backoff
+
+__all__ = ["FlakyReader", "FlakyStore", "retry_with_backoff"]
