@@ -10,6 +10,11 @@ fraction, accuracy). This script recovers them:
 Output: one aligned table per benchmark group (figure/ablation), one row
 per parameter combination, sorted by the parameter tuple, plus a SWOPE
 speedup summary per figure where the grouping allows it.
+
+Malformed dumps (missing ``benchmarks`` key, entries without a name or a
+``stats.mean``) are reported as warnings on stderr and skipped;
+``--fail-on-warn`` turns any warning into a non-zero exit so CI catches
+silently-degraded bench artifacts.
 """
 
 from __future__ import annotations
@@ -39,10 +44,47 @@ def _fmt_seconds(value: float) -> str:
     return f"{value * 1000:.1f}ms" if value < 100 else f"{value:.1f}s"
 
 
-def render(payload: dict) -> str:
-    """Render the whole benchmark dump as grouped text tables."""
+def _valid_entries(payload: dict, warnings: list[str]) -> list[dict]:
+    """The well-formed benchmark entries; malformed ones become warnings."""
+    if not isinstance(payload, dict):
+        warnings.append(f"payload is not a JSON object (got {type(payload).__name__})")
+        return []
+    if "benchmarks" not in payload:
+        warnings.append("payload has no 'benchmarks' key")
+        return []
+    raw = payload["benchmarks"]
+    if not isinstance(raw, list):
+        warnings.append("'benchmarks' is not a list")
+        return []
+    entries: list[dict] = []
+    for index, bench in enumerate(raw):
+        if not isinstance(bench, dict):
+            warnings.append(f"benchmarks[{index}] is not an object; skipped")
+            continue
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            warnings.append(f"benchmarks[{index}] has no name; skipped")
+            continue
+        stats = bench.get("stats")
+        if not isinstance(stats, dict) or not isinstance(
+            stats.get("mean"), (int, float)
+        ):
+            warnings.append(f"benchmarks[{index}] ({name}) has no stats.mean; skipped")
+            continue
+        entries.append(bench)
+    return entries
+
+
+def render(payload: dict, warnings: list[str] | None = None) -> str:
+    """Render the whole benchmark dump as grouped text tables.
+
+    ``warnings``, when given, collects one message per malformed entry
+    the renderer had to skip.
+    """
+    if warnings is None:
+        warnings = []
     groups: dict[str, list[dict]] = defaultdict(list)
-    for bench in payload.get("benchmarks", []):
+    for bench in _valid_entries(payload, warnings):
         groups[_group_name(bench["name"])].append(bench)
 
     blocks: list[str] = []
@@ -71,6 +113,11 @@ def render(payload: dict) -> str:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("json_path", help="pytest-benchmark JSON dump")
+    parser.add_argument(
+        "--fail-on-warn",
+        action="store_true",
+        help="exit non-zero if the dump contains malformed entries",
+    )
     args = parser.parse_args(argv)
     path = Path(args.json_path)
     if not path.exists():
@@ -81,7 +128,12 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as exc:
         print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
         return 2
-    print(render(payload))
+    warnings: list[str] = []
+    print(render(payload, warnings))
+    for message in warnings:
+        print(f"warning: {message}", file=sys.stderr)
+    if warnings and args.fail_on_warn:
+        return 1
     return 0
 
 

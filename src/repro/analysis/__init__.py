@@ -1,0 +1,56 @@
+"""SWOPE-aware static analysis: machine-checked repository invariants.
+
+The correctness of this reproduction rests on invariants the test suite
+can only spot-check — every entropy expression must be base-2 (Lemmas
+1–3 are stated in bits), every sampling path must draw from a seeded
+:class:`numpy.random.Generator`, every adaptive loop must honour the
+``QueryBudget``/``CancellationToken`` contract, and every intentional
+error must derive from the :mod:`repro.exceptions` hierarchy. This
+package encodes those invariants as AST lint rules (``SWP001``–``SWP008``)
+and runs them over the tree:
+
+    python -m repro.analysis src/ tests/
+
+Structure
+---------
+* :mod:`repro.analysis.rules` — the rule framework: :class:`Violation`,
+  :class:`Rule`, the ``SWP###`` registry, and severities.
+* :mod:`repro.analysis.checks` — the concrete SWOPE rules.
+* :mod:`repro.analysis.checker` — parses files, applies rules, and
+  resolves ``# noqa: SWP###`` suppressions (including unused-suppression
+  detection, reported as ``SWP000``).
+* :mod:`repro.analysis.baseline` — the ``--baseline`` ratchet file.
+* :mod:`repro.analysis.reporting` — text and JSON reporters.
+* :mod:`repro.analysis.cli` — the ``python -m repro.analysis`` entry
+  point.
+
+See ``docs/ANALYSIS.md`` for what each rule catches and why the
+invariant matters.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.checker import (
+    AnalysisReport,
+    ModuleContext,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.rules import RULES, Rule, Severity, Violation, all_codes
+
+# Importing the concrete checks registers them with the RULES registry.
+from repro.analysis import checks as _checks  # noqa: F401
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "Severity",
+    "Violation",
+    "all_codes",
+    "analyze_paths",
+    "analyze_source",
+]

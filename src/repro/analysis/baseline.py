@@ -1,0 +1,100 @@
+"""The ``--baseline`` ratchet file: tolerate old debt, block new debt.
+
+A baseline records the fingerprints of every violation present when it
+was written. Later runs with ``--baseline`` subtract those fingerprints,
+so the analysis job can gate CI on *new* violations immediately while
+the recorded ones are paid down over time — the count can only ratchet
+down, never up, because ``--update-baseline`` refuses to grow the file.
+
+Fingerprints pair the file path and rule code with the *stripped source
+line text* rather than the line number, so edits elsewhere in a file do
+not resurface baselined findings, while touching the offending statement
+itself does (see :attr:`repro.analysis.rules.Violation.fingerprint`).
+Duplicate fingerprints (the same statement text violating the same rule
+twice in one file) are tracked as a multiset.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.rules import Violation
+from repro.exceptions import AnalysisError
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A multiset of tolerated violation fingerprints."""
+
+    fingerprints: Counter[str] = field(default_factory=Counter)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        return cls(Counter(v.fingerprint for v in violations))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; malformed content raises ``AnalysisError``."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+            or not isinstance(payload.get("fingerprints"), dict)
+        ):
+            raise AnalysisError(
+                f"baseline {path} is malformed: expected"
+                f' {{"version": {_FORMAT_VERSION}, "fingerprints": {{...}}}}'
+            )
+        fingerprints: Counter[str] = Counter()
+        for fingerprint, count in payload["fingerprints"].items():
+            if not isinstance(fingerprint, str) or not isinstance(count, int) or count < 1:
+                raise AnalysisError(
+                    f"baseline {path} is malformed: fingerprint counts must be"
+                    " positive integers"
+                )
+            fingerprints[fingerprint] = count
+        return cls(fingerprints)
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(self.fingerprints.values())
+
+    def filter(
+        self, violations: Iterable[Violation]
+    ) -> tuple[list[Violation], list[Violation]]:
+        """Split ``violations`` into ``(new, baselined)``.
+
+        Each baseline fingerprint absorbs at most its recorded count, so
+        a statement duplicated *after* the baseline was written is still
+        reported as new.
+        """
+        remaining = Counter(self.fingerprints)
+        new: list[Violation] = []
+        tolerated: list[Violation] = []
+        for violation in violations:
+            if remaining[violation.fingerprint] > 0:
+                remaining[violation.fingerprint] -= 1
+                tolerated.append(violation)
+            else:
+                new.append(violation)
+        return new, tolerated

@@ -1,0 +1,183 @@
+"""``python -m repro.analysis`` — run the SWOPE lint rules over a tree.
+
+Exit status contract (what CI gates on):
+
+* ``0`` — no unsuppressed error-severity violations (warnings allowed
+  unless ``--fail-on-warning``);
+* ``1`` — at least one new error-severity violation, a parse failure,
+  or (with ``--fail-on-warning``) any warning;
+* ``2`` — usage error (unknown rule code, unreadable baseline, …).
+
+Typical invocations::
+
+    python -m repro.analysis src/ tests/
+    python -m repro.analysis src/ --select SWP002,SWP008 --format json
+    python -m repro.analysis src/ --baseline analysis-baseline.json
+    python -m repro.analysis src/ --baseline debt.json --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis import checks as _checks  # noqa: F401 - registers rules
+from repro.analysis.baseline import Baseline
+from repro.analysis.checker import AnalysisReport, analyze_paths
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import RULES, Violation
+from repro.exceptions import AnalysisError
+
+__all__ = ["build_parser", "main"]
+
+
+def _parse_codes(raw: str) -> list[str]:
+    return [code.strip().upper() for code in raw.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="SWOPE-aware static analysis (rules SWP001-SWP008).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="ratchet file: violations recorded there are tolerated",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current violations and exit 0"
+        " (refuses to grow an existing baseline)",
+    )
+    parser.add_argument(
+        "--fail-on-warning",
+        action="store_true",
+        help="exit 1 on warning-severity findings too",
+    )
+    parser.add_argument(
+        "--no-unused-suppressions",
+        action="store_true",
+        help="do not report stale # noqa comments (SWP000)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list violations silenced by # noqa (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for code, registered in sorted(RULES.items()):
+        lines.append(
+            f"{code} {registered.name} [{registered.severity}]"
+            f" — {registered.summary} (scope: {registered.scope})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.update_baseline and not args.baseline:
+        print("error: --update-baseline requires --baseline", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        report: AnalysisReport = analyze_paths(
+            [Path(p) for p in args.paths],
+            select=_parse_codes(args.select) if args.select else None,
+            ignore=_parse_codes(args.ignore) if args.ignore else None,
+            report_unused=not args.no_unused_suppressions,
+            display_root=Path.cwd(),
+        )
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baselined: list[Violation] = []
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if args.update_baseline:
+            new_baseline = Baseline.from_violations(report.violations)
+            if baseline_path.exists():
+                try:
+                    previous = Baseline.load(baseline_path)
+                except AnalysisError as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                if len(new_baseline) > len(previous):
+                    print(
+                        "error: refusing to grow the baseline"
+                        f" ({len(previous)} -> {len(new_baseline)} violations);"
+                        " fix the new findings instead",
+                        file=sys.stderr,
+                    )
+                    return 2
+            new_baseline.save(baseline_path)
+            print(
+                f"baseline {baseline_path} updated:"
+                f" {len(new_baseline)} tolerated violations"
+            )
+            return 0
+        if baseline_path.exists():
+            try:
+                tolerated = Baseline.load(baseline_path)
+            except AnalysisError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            report.violations, baselined = tolerated.filter(report.violations)
+
+    if args.format == "json":
+        print(render_json(report, baselined=baselined))
+    else:
+        print(
+            render_text(
+                report,
+                baselined=baselined,
+                verbose_suppressed=args.show_suppressed,
+            )
+        )
+    if report.has_errors():
+        return 1
+    if args.fail_on_warning and report.has_warnings():
+        return 1
+    return 0

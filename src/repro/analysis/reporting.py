@@ -1,0 +1,69 @@
+"""Text and JSON reporters for analysis runs.
+
+The text reporter is what CI logs show; the JSON reporter is a stable
+machine-readable contract (violations, counts, and exit metadata) for
+tooling built on top of the pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.checker import AnalysisReport
+from repro.analysis.rules import Violation
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    report: AnalysisReport,
+    *,
+    baselined: list[Violation] | None = None,
+    verbose_suppressed: bool = False,
+) -> str:
+    """Human-readable rendering: one line per finding plus a summary."""
+    lines: list[str] = []
+    for path, message in report.parse_errors:
+        lines.append(f"{path}:1:0: PARSE [error] {message}")
+    for violation in report.violations:
+        lines.append(violation.format_text())
+    if verbose_suppressed:
+        for violation in report.suppressed:
+            lines.append(f"{violation.format_text()} (suppressed by noqa)")
+    summary = [f"{report.checked_files} files checked"]
+    counts = report.counts()
+    if counts:
+        summary.append(
+            ", ".join(f"{code}: {count}" for code, count in counts.items())
+        )
+        summary.append(f"{len(report.violations)} violations")
+    else:
+        summary.append("no violations")
+    if report.suppressed:
+        summary.append(f"{len(report.suppressed)} suppressed")
+    if baselined:
+        summary.append(f"{len(baselined)} baselined")
+    if report.parse_errors:
+        summary.append(f"{len(report.parse_errors)} parse errors")
+    lines.append(" — ".join(summary))
+    return "\n".join(lines)
+
+
+def render_json(
+    report: AnalysisReport,
+    *,
+    baselined: list[Violation] | None = None,
+) -> str:
+    """Machine-readable rendering of the full run outcome."""
+    payload = {
+        "checked_files": report.checked_files,
+        "violations": [v.as_dict() for v in report.violations],
+        "suppressed": [v.as_dict() for v in report.suppressed],
+        "baselined": [v.as_dict() for v in (baselined or [])],
+        "parse_errors": [
+            {"path": path, "message": message}
+            for path, message in report.parse_errors
+        ],
+        "counts": report.counts(),
+    }
+    return json.dumps(payload, indent=2)

@@ -24,13 +24,25 @@ from __future__ import annotations
 
 import time
 
+from repro.core.budget import (
+    CancellationToken,
+    QueryBudget,
+    check_interruption,
+    raise_interrupted,
+)
 from repro.core.engine import (
     Interval,
     ScoreProvider,
     validate_k,
     validate_threshold,
 )
-from repro.core.results import AttributeEstimate, FilterResult, RunStats, TopKResult
+from repro.core.results import (
+    AttributeEstimate,
+    FilterResult,
+    GuaranteeStatus,
+    RunStats,
+    TopKResult,
+)
 from repro.core.schedule import SampleSchedule
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError
@@ -57,6 +69,9 @@ def exact_stopping_top_k(
     *,
     prune: bool = True,
     target: str | None = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> TopKResult:
     """EntropyRank-style top-k: run until the exact answer is certain.
 
@@ -66,16 +81,25 @@ def exact_stopping_top_k(
     with the largest lower bounds are provably the exact top-k, up to
     bound-failure probability). At ``M = N`` the bounds are exact and the
     rule always fires.
+
+    ``budget``/``cancellation``/``strict`` follow the engine's contract
+    (:func:`repro.core.engine.adaptive_top_k`): the checkpoint runs once
+    per iteration, a truncated run returns the current best-effort
+    ranking with ``result.guarantee`` recording why it stopped, and
+    ``strict=True`` raises instead. Converged exact runs keep
+    ``result.guarantee`` as ``None`` — exactness needs no certificate.
     """
     k = validate_k(k)
     if not candidates:
         raise ParameterError("top-k query needs at least one candidate attribute")
     k_effective = min(k, len(candidates))
     started = time.perf_counter()
+    cells_at_start = sampler.cells_scanned
     stats = RunStats()
     live = list(candidates)
     iterations = 0
     answer: list[tuple[str, Interval]] = []
+    stop_reason: str | None = None
     sample_size = schedule.sizes[0]
     for index, sample_size in enumerate(schedule.sizes):
         iterations += 1
@@ -91,6 +115,15 @@ def exact_stopping_top_k(
             break
         if index == len(schedule.sizes) - 1:
             break  # M = N: bounds are exact, the ranking is the answer.
+        stop_reason = check_interruption(
+            budget,
+            cancellation,
+            elapsed_seconds=time.perf_counter() - started,
+            cells_used=sampler.cells_scanned - cells_at_start,
+            next_sample_size=schedule.sizes[index + 1],
+        )
+        if stop_reason is not None:
+            break
         if prune:
             survivors = [a for a in live if intervals[a].upper >= kth_lower]
             for gone in set(live) - set(survivors):
@@ -102,13 +135,30 @@ def exact_stopping_top_k(
     stats.population_size = sampler.num_rows
     stats.cells_scanned = sampler.cells_scanned
     stats.wall_seconds = time.perf_counter() - started
-    return TopKResult(
+    guarantee = None
+    if stop_reason is not None:
+        # Truncated: the current by-lower-bound ranking is still a valid
+        # best-effort answer (every interval holds). Back-solve the ε the
+        # ranking does satisfy, as the SWOPE engine does.
+        upper_k = min(iv.upper for _, iv in answer)
+        width_max = max(iv.width for _, iv in answer)
+        guarantee = GuaranteeStatus(
+            guarantee_met=False,
+            stopping_reason=stop_reason,
+            requested_epsilon=0.0,
+            achieved_epsilon=0.0 if upper_k <= 0.0 else width_max / upper_k,
+        )
+    result = TopKResult(
         attributes=[a for a, _ in answer],
         estimates=[_estimate(a, iv, sample_size) for a, iv in answer],
         stats=stats,
         k=k,
         target=target,
+        guarantee=guarantee,
     )
+    if strict and stop_reason is not None:
+        raise_interrupted(stop_reason, result)
+    return result
 
 
 def exact_stopping_filter(
@@ -119,6 +169,9 @@ def exact_stopping_filter(
     schedule: SampleSchedule,
     *,
     target: str | None = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> FilterResult:
     """EntropyFilter-style filtering: retire only on certain comparisons.
 
@@ -128,16 +181,24 @@ def exact_stopping_filter(
     (``M = N``, exact bounds) remaining attributes are decided by
     ``estimate >= η`` directly — matching the exact answer's closed
     threshold.
+
+    ``budget``/``cancellation``/``strict`` follow the engine's contract:
+    a truncated run resolves the still-undecided attributes best-effort
+    by interval midpoint, lists them in ``result.guarantee.undecided``,
+    and ``strict=True`` raises with the partial result attached.
     """
     threshold = validate_threshold(threshold)
     if not candidates:
         raise ParameterError("filtering query needs at least one candidate attribute")
     started = time.perf_counter()
+    cells_at_start = sampler.cells_scanned
     stats = RunStats()
     undecided = list(candidates)
     included: list[str] = []
     estimates: dict[str, AttributeEstimate] = {}
+    last_intervals: dict[str, Interval] = {}
     iterations = 0
+    stop_reason: str | None = None
     sample_size = schedule.sizes[0]
     for index, sample_size in enumerate(schedule.sizes):
         iterations += 1
@@ -145,6 +206,7 @@ def exact_stopping_filter(
         still: list[str] = []
         for attribute in undecided:
             iv = provider.interval(attribute, sample_size)
+            last_intervals[attribute] = iv
             decided = True
             if iv.lower > threshold:
                 included.append(attribute)
@@ -163,17 +225,59 @@ def exact_stopping_filter(
         undecided = still
         if not undecided:
             break
-    assert not undecided, "exact filtering ended with undecided attributes"
+        if index < len(schedule.sizes) - 1:
+            stop_reason = check_interruption(
+                budget,
+                cancellation,
+                elapsed_seconds=time.perf_counter() - started,
+                cells_used=sampler.cells_scanned - cells_at_start,
+                next_sample_size=schedule.sizes[index + 1],
+            )
+            if stop_reason is not None:
+                break
+    if stop_reason is None:
+        assert not undecided, "exact filtering ended with undecided attributes"
+    undecided_at_stop = tuple(undecided)
+    for attribute in undecided_at_stop:
+        # Best-effort resolution of what the budget cut off: decide by
+        # midpoint, keep the (still valid) current interval.
+        iv = last_intervals[attribute]
+        if iv.midpoint >= threshold:
+            included.append(attribute)
+        estimates[attribute] = _estimate(attribute, iv, sample_size)
+    guarantee = None
+    if stop_reason is not None:
+        # Width-implied ε, as in the SWOPE engine: the smallest ε' whose
+        # width rule (width < 2ε'η) would have decided every remaining
+        # attribute at the final intervals.
+        achieved = 0.0
+        if undecided_at_stop:
+            if threshold > 0.0:
+                worst = max(last_intervals[a].width for a in undecided_at_stop)
+                achieved = worst / (2.0 * threshold)
+            else:  # pragma: no cover - η = 0 decides every attribute instantly
+                achieved = float("inf")
+        guarantee = GuaranteeStatus(
+            guarantee_met=False,
+            stopping_reason=stop_reason,
+            requested_epsilon=0.0,
+            achieved_epsilon=achieved,
+            undecided=undecided_at_stop,
+        )
     included.sort(key=lambda a: estimates[a].estimate, reverse=True)
     stats.iterations = iterations
     stats.final_sample_size = sample_size
     stats.population_size = sampler.num_rows
     stats.cells_scanned = sampler.cells_scanned
     stats.wall_seconds = time.perf_counter() - started
-    return FilterResult(
+    result = FilterResult(
         attributes=included,
         estimates=estimates,
         stats=stats,
         threshold=threshold,
         target=target,
+        guarantee=guarantee,
     )
+    if strict and stop_reason is not None:
+        raise_interrupted(stop_reason, result)
+    return result

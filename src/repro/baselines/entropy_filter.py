@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.adaptive_exact import exact_stopping_filter
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import EntropyScoreProvider, default_failure_probability
 from repro.core.results import FilterResult
 from repro.core.schedule import SampleSchedule
@@ -30,11 +31,15 @@ def entropy_filter(
     attributes: list[str] | None = None,
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> FilterResult:
     """Answer an *exact* entropy filtering query by adaptive sampling.
 
     Parameters mirror :func:`repro.core.filtering.swope_filter_entropy`,
     minus ``epsilon``.
+    ``budget``/``cancellation``/``strict`` behave as in the SWOPE engine.
     """
     names = list(attributes) if attributes is not None else list(store.attributes)
     unknown = [a for a in names if a not in store]
@@ -53,4 +58,13 @@ def entropy_filter(
         )
     per_bound = schedule.per_round_failure(failure_probability, len(names))
     provider = EntropyScoreProvider(sampler, per_bound)
-    return exact_stopping_filter(provider, sampler, names, threshold, schedule)
+    return exact_stopping_filter(
+        provider,
+        sampler,
+        names,
+        threshold,
+        schedule,
+        budget=budget,
+        cancellation=cancellation,
+        strict=strict,
+    )

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.adaptive_exact import exact_stopping_top_k
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import EntropyScoreProvider, default_failure_probability
 from repro.core.results import TopKResult
 from repro.core.schedule import SampleSchedule
@@ -33,11 +34,15 @@ def entropy_rank_top_k(
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
     prune: bool = True,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> TopKResult:
     """Answer an *exact* entropy top-k query by adaptive sampling.
 
     Parameters mirror :func:`repro.core.topk.swope_top_k_entropy`, minus
     ``epsilon`` — this baseline has no approximation knob.
+    ``budget``/``cancellation``/``strict`` behave as in the SWOPE engine.
     """
     names = list(attributes) if attributes is not None else list(store.attributes)
     unknown = [a for a in names if a not in store]
@@ -56,4 +61,14 @@ def entropy_rank_top_k(
         )
     per_bound = schedule.per_round_failure(failure_probability, len(names))
     provider = EntropyScoreProvider(sampler, per_bound)
-    return exact_stopping_top_k(provider, sampler, names, k, schedule, prune=prune)
+    return exact_stopping_top_k(
+        provider,
+        sampler,
+        names,
+        k,
+        schedule,
+        prune=prune,
+        budget=budget,
+        cancellation=cancellation,
+        strict=strict,
+    )

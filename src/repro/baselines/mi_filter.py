@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.adaptive_exact import exact_stopping_filter
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
     MutualInformationScoreProvider,
     default_failure_probability,
@@ -32,12 +33,16 @@ def entropy_filter_mutual_information(
     candidates: list[str] | None = None,
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> FilterResult:
     """Answer an *exact* MI filtering query by adaptive sampling.
 
     Parameters mirror
     :func:`repro.core.mi_filtering.swope_filter_mutual_information`, minus
     ``epsilon``.
+    ``budget``/``cancellation``/``strict`` behave as in the SWOPE engine.
     """
     if target not in store:
         raise SchemaError(f"unknown target attribute {target!r}")
@@ -72,5 +77,13 @@ def entropy_filter_mutual_information(
     )
     provider = MutualInformationScoreProvider(sampler, target, per_bound)
     return exact_stopping_filter(
-        provider, sampler, names, threshold, schedule, target=target
+        provider,
+        sampler,
+        names,
+        threshold,
+        schedule,
+        target=target,
+        budget=budget,
+        cancellation=cancellation,
+        strict=strict,
     )

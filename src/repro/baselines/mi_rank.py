@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.adaptive_exact import exact_stopping_top_k
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
     MutualInformationScoreProvider,
     default_failure_probability,
@@ -34,12 +35,16 @@ def entropy_rank_top_k_mutual_information(
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
     prune: bool = True,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
 ) -> TopKResult:
     """Answer an *exact* MI top-k query by adaptive sampling.
 
     Parameters mirror
     :func:`repro.core.mi_topk.swope_top_k_mutual_information`, minus
     ``epsilon``.
+    ``budget``/``cancellation``/``strict`` behave as in the SWOPE engine.
     """
     if target not in store:
         raise SchemaError(f"unknown target attribute {target!r}")
@@ -72,5 +77,14 @@ def entropy_rank_top_k_mutual_information(
     )
     provider = MutualInformationScoreProvider(sampler, target, per_bound)
     return exact_stopping_top_k(
-        provider, sampler, names, k, schedule, prune=prune, target=target
+        provider,
+        sampler,
+        names,
+        k,
+        schedule,
+        prune=prune,
+        target=target,
+        budget=budget,
+        cancellation=cancellation,
+        strict=strict,
     )

@@ -58,7 +58,8 @@ def digamma(x: float) -> float:
     # psi(x) ~ ln x - 1/(2x) - 1/(12x^2) + 1/(120x^4) - 1/(252x^6)
     #          + 1/(240x^8)  (next term ~ 1/(132 x^10): < 1e-13 at x >= 12)
     result += (
-        math.log(x)
+        # The digamma asymptotic series is ψ(x) ≈ ln x − …: natural log.
+        math.log(x)  # noqa: SWP001
         - 0.5 * inv
         - inv2
         * (

@@ -126,7 +126,9 @@ def permutation_half_width(
     else:
         raise ParameterError(f"unknown beta_mode {beta_mode!r}")
     slack = 1.0 - 1.0 / (2.0 * max(m, n - m))
-    inner = (m * (n - m) * math.log(2.0 / failure_probability)) / (
+    # Lemma 3's deviation term is stated with ln(2/p_f) — a genuine
+    # natural log, not an entropy quantity in bits.
+    inner = (m * (n - m) * math.log(2.0 / failure_probability)) / (  # noqa: SWP001
         2.0 * (n - 0.5) * slack
     )
     return beta * math.sqrt(inner)
@@ -383,7 +385,8 @@ def sample_size_for_width(
     if n == 1:
         return 1
     log_term = 2.0 * math.log2(n) * math.sqrt(
-        2.0 * math.log(2.0 / failure_probability) * n / (n - 0.5)
+        # ln(2/p_f) again: the same Lemma 3 deviation term, inverted.
+        2.0 * math.log(2.0 / failure_probability) * n / (n - 0.5)  # noqa: SWP001
     )
     numerator = n * (log_term + support_size) ** 2
     m_star = numerator / ((n - 1.0) * target_width**2)

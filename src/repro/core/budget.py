@@ -31,9 +31,18 @@ import math
 import threading
 from dataclasses import dataclass
 
-from repro.exceptions import ParameterError
+from repro.exceptions import (
+    BudgetExceededError,
+    ParameterError,
+    QueryCancelledError,
+)
 
-__all__ = ["QueryBudget", "CancellationToken"]
+__all__ = [
+    "QueryBudget",
+    "CancellationToken",
+    "check_interruption",
+    "raise_interrupted",
+]
 
 
 @dataclass(frozen=True)
@@ -153,3 +162,49 @@ class CancellationToken:
             raise QueryCancelledError(
                 f"operation cancelled{detail}", stopping_reason="cancelled"
             )
+
+
+def check_interruption(
+    budget: QueryBudget | None,
+    cancellation: CancellationToken | None,
+    *,
+    elapsed_seconds: float,
+    cells_used: int,
+    next_sample_size: int,
+) -> str | None:
+    """The per-iteration checkpoint every adaptive loop must call.
+
+    Returns the forced stopping reason (``"cancelled"``, ``"deadline"``,
+    ``"cell_budget"``, ``"sample_cap"``) or ``None`` to continue.
+    Cancellation is an explicit caller request and takes precedence over
+    budget limits. Shared by the SWOPE engine and the exact-stopping
+    baselines so that rule SWP003 has a single call signature to verify.
+    """
+    if cancellation is not None and cancellation.cancelled:
+        return "cancelled"
+    if budget is None:
+        return None
+    return budget.exhausted(
+        elapsed_seconds=elapsed_seconds,
+        cells_used=cells_used,
+        next_sample_size=next_sample_size,
+    )
+
+
+def raise_interrupted(reason: str, partial: object) -> None:
+    """Strict mode: surface a truncated run as the matching exception.
+
+    ``partial`` is the best-effort result the non-strict path would have
+    returned; it rides on the exception so callers can still use it.
+    """
+    if reason == "cancelled":
+        raise QueryCancelledError(
+            "query cancelled before its stopping rule fired",
+            stopping_reason=reason,
+            partial=partial,
+        )
+    raise BudgetExceededError(
+        f"query budget exhausted ({reason}) before the stopping rule fired",
+        stopping_reason=reason,
+        partial=partial,
+    )

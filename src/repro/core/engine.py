@@ -35,7 +35,12 @@ from repro.core.bounds import (
     joint_entropy_interval,
     mutual_information_interval,
 )
-from repro.core.budget import CancellationToken, QueryBudget
+from repro.core.budget import (
+    CancellationToken,
+    QueryBudget,
+    check_interruption,
+    raise_interrupted,
+)
 from repro.core.estimators import entropy_from_counts, joint_entropy_from_counter
 from repro.core.results import (
     AttributeEstimate,
@@ -46,12 +51,7 @@ from repro.core.results import (
 )
 from repro.core.schedule import SampleSchedule
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import (
-    BudgetExceededError,
-    ParameterError,
-    QueryCancelledError,
-    SchemaError,
-)
+from repro.exceptions import ParameterError, SchemaError
 
 __all__ = [
     "EntropyScoreProvider",
@@ -325,31 +325,16 @@ class _LoopContext:
         precedence over budget limits. The cell budget is measured
         against this query's own reads (``cells_at_start`` delta), so a
         session-shared sampler is budgeted per query, not cumulatively.
+        Delegates to :func:`repro.core.budget.check_interruption`, the
+        checkpoint shared with the exact-stopping baselines.
         """
-        if cancellation is not None and cancellation.cancelled:
-            return "cancelled"
-        if budget is None:
-            return None
-        return budget.exhausted(
+        return check_interruption(
+            budget,
+            cancellation,
             elapsed_seconds=time.perf_counter() - self.started_at,
             cells_used=self.sampler.cells_scanned - self.cells_at_start,
             next_sample_size=next_sample_size,
         )
-
-
-def _raise_interrupted(reason: str, partial: TopKResult | FilterResult) -> None:
-    """Strict mode: surface a truncated run as an exception."""
-    if reason == "cancelled":
-        raise QueryCancelledError(
-            "query cancelled before its stopping rule fired",
-            stopping_reason=reason,
-            partial=partial,
-        )
-    raise BudgetExceededError(
-        f"query budget exhausted ({reason}) before the stopping rule fired",
-        stopping_reason=reason,
-        partial=partial,
-    )
 
 
 def _estimate_from_interval(
@@ -505,7 +490,7 @@ def adaptive_top_k(
         guarantee=guarantee,
     )
     if strict and not guarantee.guarantee_met:
-        _raise_interrupted(reason, result)
+        raise_interrupted(reason, result)
     return result
 
 
@@ -642,5 +627,5 @@ def adaptive_filter(
         guarantee=guarantee,
     )
     if strict and not guarantee.guarantee_met:
-        _raise_interrupted(stop_reason, result)
+        raise_interrupted(stop_reason, result)
     return result

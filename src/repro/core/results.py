@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exceptions import ResultConsistencyError, UnknownAttributeError
+
 __all__ = [
     "AttributeEstimate",
     "GuaranteeStatus",
@@ -73,12 +75,12 @@ class GuaranteeStatus:
 
     def __post_init__(self) -> None:
         if self.stopping_reason not in STOPPING_REASONS:
-            raise ValueError(
+            raise ResultConsistencyError(
                 f"unknown stopping reason {self.stopping_reason!r};"
                 f" expected one of {STOPPING_REASONS}"
             )
         if self.guarantee_met != (self.stopping_reason == "converged"):
-            raise ValueError(
+            raise ResultConsistencyError(
                 "guarantee_met must mirror stopping_reason == 'converged';"
                 f" got guarantee_met={self.guarantee_met} with"
                 f" stopping_reason={self.stopping_reason!r}"
@@ -113,7 +115,7 @@ class AttributeEstimate:
 
     def __post_init__(self) -> None:
         if not self.lower <= self.upper:
-            raise ValueError(
+            raise ResultConsistencyError(
                 f"estimate bounds inverted for {self.attribute!r}:"
                 f" [{self.lower}, {self.upper}]"
             )
@@ -192,7 +194,7 @@ class TopKResult:
 
     def __post_init__(self) -> None:
         if len(self.attributes) != len(self.estimates):
-            raise ValueError(
+            raise ResultConsistencyError(
                 f"{len(self.attributes)} attributes but"
                 f" {len(self.estimates)} estimates"
             )
@@ -202,7 +204,9 @@ class TopKResult:
         for est in self.estimates:
             if est.attribute == attribute:
                 return est
-        raise KeyError(f"attribute {attribute!r} is not part of this answer")
+        raise UnknownAttributeError(
+            f"attribute {attribute!r} is not part of this answer"
+        )
 
     def scores(self) -> dict[str, float]:
         """``{attribute: point estimate}`` for the returned attributes."""

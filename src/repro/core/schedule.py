@@ -57,7 +57,8 @@ def initial_sample_size(
     u_max = max(2, max_support_size)
     log2_n = math.log2(max(n, 2))
     numerator = (
-        math.log(num_attributes * max(log2_n, 1.0) / failure_probability)
+        # The paper's M0 uses ln(h·log2(N)/p_f) — natural log by design.
+        math.log(num_attributes * max(log2_n, 1.0) / failure_probability)  # noqa: SWP001
         * log2_n**2
     )
     m0 = math.ceil(numerator / math.log2(u_max) ** 2)

@@ -35,6 +35,8 @@ queries, give each its own seeded session.
 
 from __future__ import annotations
 
+from typing import Any, Callable, TypeVar
+
 import numpy as np
 
 from repro.core.budget import QueryBudget
@@ -50,6 +52,8 @@ from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 
 __all__ = ["QuerySession"]
+
+_ResultT = TypeVar("_ResultT", TopKResult, FilterResult)
 
 
 class QuerySession:
@@ -143,7 +147,11 @@ class QuerySession:
             initial_size=start,
         )
 
-    def _run(self, runner, names: list[str]):
+    def _run(
+        self,
+        runner: Callable[[SampleSchedule], _ResultT],
+        names: list[str],
+    ) -> _ResultT:
         schedule = self._schedule(
             len(names), max(self._store.support_size(a) for a in names)
         )
@@ -165,7 +173,7 @@ class QuerySession:
         return result
 
     # ------------------------------------------------------------------
-    def top_k_entropy(self, k: int, **kwargs) -> TopKResult:
+    def top_k_entropy(self, k: int, **kwargs: Any) -> TopKResult:
         """Algorithm 1 over the shared sampler. Keywords as in
         :func:`repro.core.topk.swope_top_k_entropy` (minus seed/sampler/
         schedule/failure_probability, which the session owns). Pruning is
@@ -181,7 +189,7 @@ class QuerySession:
             names,
         )
 
-    def filter_entropy(self, threshold: float, **kwargs) -> FilterResult:
+    def filter_entropy(self, threshold: float, **kwargs: Any) -> FilterResult:
         """Algorithm 2 over the shared sampler."""
         names = kwargs.pop("attributes", None) or list(self._store.attributes)
         kwargs.setdefault("budget", self._budget)
@@ -193,7 +201,9 @@ class QuerySession:
             names,
         )
 
-    def top_k_mutual_information(self, target: str, k: int, **kwargs) -> TopKResult:
+    def top_k_mutual_information(
+        self, target: str, k: int, **kwargs: Any
+    ) -> TopKResult:
         """Algorithm 3 over the shared sampler (pruning off by default)."""
         names = kwargs.pop("candidates", None) or [
             a for a in self._store.attributes if a != target
@@ -209,7 +219,7 @@ class QuerySession:
         )
 
     def filter_mutual_information(
-        self, target: str, threshold: float, **kwargs
+        self, target: str, threshold: float, **kwargs: Any
     ) -> FilterResult:
         """Algorithm 4 over the shared sampler."""
         names = kwargs.pop("candidates", None) or [

@@ -52,7 +52,7 @@ class AttributeProfile:
     @property
     def normalized_entropy(self) -> float:
         """``entropy / max_entropy`` in [0, 1] (0 for a 1-value domain)."""
-        if self.max_entropy == 0.0:
+        if self.max_entropy <= 0.0:
             return 0.0
         return self.entropy / self.max_entropy
 

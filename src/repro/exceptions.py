@@ -36,6 +36,29 @@ class DataFormatError(ReproError):
     """An input file (CSV or cached ``.npz``) could not be parsed."""
 
 
+class ResultConsistencyError(ReproError, ValueError):
+    """A result object was constructed with inconsistent fields.
+
+    Also derives from :class:`ValueError` so callers (and tests) written
+    against the pre-hierarchy behaviour keep working.
+    """
+
+
+class UnknownAttributeError(SchemaError, KeyError):
+    """A result lookup named an attribute that is not part of the answer.
+
+    Also derives from :class:`KeyError` for mapping-style compatibility.
+    """
+
+
+class AnalysisError(ReproError):
+    """The static-analysis pass (:mod:`repro.analysis`) was misconfigured.
+
+    Examples: an unknown ``SWP###`` code passed to ``--select``, or a
+    malformed baseline file.
+    """
+
+
 class QueryInterruptedError(ReproError):
     """A query stopped before its stopping rule fired (strict mode only).
 
