@@ -1,4 +1,4 @@
-"""The concrete SWOPE rules, ``SWP001``–``SWP008``.
+"""The concrete SWOPE rules, ``SWP001``–``SWP009``.
 
 Each rule encodes one repository invariant that the test suite can only
 spot-check; ``docs/ANALYSIS.md`` documents the rationale and the
@@ -595,4 +595,57 @@ def _check_wall_clock_timing(context: ModuleContext) -> Iterator[Violation]:
                 f"time.{chain[1]}() is non-monotonic: use time.perf_counter()"
                 " for measured intervals (calendar timestamps may be"
                 " suppressed with a justification)",
+            )
+
+
+# ----------------------------------------------------------------------
+# SWP009 — occurrence counting stays behind the CountingBackend seam
+# ----------------------------------------------------------------------
+@rule(
+    "SWP009",
+    "counting-behind-backend",
+    summary="bincount/joint counting outside repro.data must go through the"
+    " CountingBackend seam",
+    scope="src/repro except repro.data",
+)
+def _check_counting_seam(context: ModuleContext) -> Iterator[Violation]:
+    """Keep sample counting inside the pluggable backend layer.
+
+    The batched execution core routes every occurrence count through
+    :class:`repro.data.backends.CountingBackend` (marginals) and
+    :class:`repro.data.joint.JointCounter` via the sampler's batch
+    methods (joints), so backends stay interchangeable and the cost
+    accounting stays exact. A ``np.bincount`` or a ``JointCounter``
+    construction elsewhere in ``src/repro`` bypasses that seam —
+    estimator-internal histogramming of *derived* values (e.g.
+    conditional splits) may be suppressed with ``# noqa: SWP009`` and a
+    justification.
+    """
+    if not context.in_package("repro") or context.in_package("repro.data"):
+        return
+    this = RULES["SWP009"]
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attribute_chain(node.func)
+        if (
+            chain is not None
+            and len(chain) == 2
+            and chain[0] in context.numpy_aliases
+            and chain[1] == "bincount"
+        ):
+            yield context.violation(
+                this,
+                node,
+                "np.bincount outside repro.data: count samples through"
+                " PrefixSampler / a CountingBackend so the seam stays"
+                " pluggable, or '# noqa: SWP009' with a justification",
+            )
+        elif isinstance(node.func, ast.Name) and node.func.id == "JointCounter":
+            yield context.violation(
+                this,
+                node,
+                "JointCounter construction outside repro.data: use"
+                " PrefixSampler.joint_counts_batch, or '# noqa: SWP009'"
+                " with a justification",
             )

@@ -55,7 +55,11 @@ class ClusteringResult:
 
     def cluster_sizes(self) -> np.ndarray:
         """Number of records per cluster."""
-        return np.bincount(self.assignments, minlength=self.num_clusters)
+        # Histogram of derived cluster labels, not a dataset sample —
+        # outside the sampling cost model and the backend seam.
+        return np.bincount(  # noqa: SWP009
+            self.assignments, minlength=self.num_clusters
+        )
 
 
 class _ClusterProfile:
@@ -118,7 +122,9 @@ def expected_entropy(store: ColumnStore, assignments: np.ndarray, k: int) -> flo
             continue
         weight = rows.size / store.num_rows
         for name in store.attributes:
-            counts = np.bincount(
+            # Per-cluster conditional counts over caller-chosen row
+            # subsets: not prefix sampling, so no backend seam applies.
+            counts = np.bincount(  # noqa: SWP009
                 store.column(name)[rows], minlength=store.support_size(name)
             )
             total += weight * entropy_from_counts(counts)

@@ -159,7 +159,11 @@ class EntropyTreeClassifier:
     ) -> DecisionNode:
         assert self.label is not None
         labels = store.column(self.label)[rows]
-        counts = np.bincount(labels, minlength=store.support_size(self.label))
+        # Label histogram over the node's row subset (a tree split, not
+        # a sample prefix) — outside the backend seam.
+        counts = np.bincount(  # noqa: SWP009
+            labels, minlength=store.support_size(self.label)
+        )
         node = DecisionNode(
             majority=int(counts.argmax()), num_rows=int(rows.size), depth=depth
         )

@@ -55,7 +55,11 @@ def exact_joint_entropy(store: ColumnStore, first: str, second: str) -> float:
     """Exact empirical joint entropy ``H_D(α1, α2)`` (bits)."""
     if first == second:
         raise SchemaError("joint entropy of an attribute with itself is its entropy")
-    counter = JointCounter(store.support_size(first), store.support_size(second))
+    # Exact baseline reads the whole dataset once; there is no sampler
+    # whose batch methods could own this counter.
+    counter = JointCounter(  # noqa: SWP009
+        store.support_size(first), store.support_size(second)
+    )
     counter.update(store.column(first), store.column(second))
     return joint_entropy_from_counter(counter)
 

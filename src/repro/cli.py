@@ -130,6 +130,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail (exit 2) instead of returning a degraded answer when"
              " a budget limit fires",
     )
+    query.add_argument(
+        "--backend", choices=["numpy", "threads"], default=None,
+        help="counting backend (default: REPRO_BACKEND env var or numpy);"
+             " results are bit-identical across backends",
+    )
 
     select = sub.add_parser(
         "select", help="run a feature-selection application"
@@ -228,7 +233,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             max_cells=args.max_cells,
             max_sample_size=args.max_sample,
         )
-    resilience = {"budget": budget, "strict": args.strict}
+    resilience = {"budget": budget, "strict": args.strict, "backend": args.backend}
     if args.kind == "topk-entropy":
         result = swope_top_k_entropy(
             store, args.k, epsilon=args.epsilon or 0.1, seed=args.seed,
@@ -264,6 +269,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"stats: M={stats.final_sample_size:,}/{stats.population_size:,}"
         f" ({stats.sample_fraction:.1%}), {stats.iterations} iterations,"
         f" {stats.cells_scanned:,} cells, {stats.wall_seconds:.3f}s"
+    )
+    print(
+        f"phases: counting={stats.counting_seconds:.3f}s"
+        f" bounds={stats.bounds_seconds:.3f}s loop={stats.loop_seconds:.3f}s"
     )
     status = result.guarantee
     if status is not None:

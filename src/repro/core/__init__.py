@@ -19,7 +19,9 @@ from repro.core.bounds import (
     beta_sensitivity,
     bias_bound,
     entropy_interval,
+    entropy_intervals,
     joint_entropy_interval,
+    mi_intervals,
     mutual_information_interval,
     permutation_half_width,
     sample_size_for_width,
@@ -29,6 +31,7 @@ from repro.core.engine import (
     EntropyScoreProvider,
     IterationTrace,
     MutualInformationScoreProvider,
+    PhaseTimings,
     QueryTrace,
     default_failure_probability,
 )
@@ -63,6 +66,7 @@ __all__ = [
     "GuaranteeStatus",
     "IterationTrace",
     "MutualInformationInterval",
+    "PhaseTimings",
     "QueryBudget",
     "QuerySession",
     "QueryTrace",
@@ -76,11 +80,13 @@ __all__ = [
     "entropy_from_counts",
     "entropy_from_probabilities",
     "entropy_interval",
+    "entropy_intervals",
     "initial_sample_size",
     "jackknife_entropy",
     "joint_entropy_from_counter",
     "joint_entropy_interval",
     "max_iterations",
+    "mi_intervals",
     "miller_madow_entropy",
     "mutual_information_from_counts",
     "mutual_information_interval",

@@ -26,6 +26,7 @@ dataset), which the algorithms rely on for guaranteed termination.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import ParameterError
@@ -36,8 +37,10 @@ __all__ = [
     "beta_sensitivity",
     "bias_bound",
     "entropy_interval",
+    "entropy_intervals",
     "joint_entropy_interval",
     "loose_beta_sensitivity",
+    "mi_intervals",
     "mutual_information_interval",
     "permutation_half_width",
     "sample_size_for_width",
@@ -226,19 +229,64 @@ def entropy_interval(
         Per-attribute, per-iteration budget ``p`` (the algorithms pass
         ``p'_f``).
     """
-    if sample_entropy < 0:
-        raise ParameterError(f"sample entropy must be >= 0, got {sample_entropy}")
+    return entropy_intervals(
+        (sample_entropy,),
+        (support_size,),
+        sample_size,
+        population_size,
+        failure_probability,
+        beta_mode=beta_mode,
+    )[0]
+
+
+def entropy_intervals(
+    sample_entropies: Sequence[float],
+    support_sizes: Sequence[int],
+    sample_size: int,
+    population_size: int,
+    failure_probability: float,
+    *,
+    beta_mode: str = "tight",
+) -> list[ConfidenceInterval]:
+    """Lemma 3 intervals for a batch of attributes at one sample size.
+
+    The batched form of :func:`entropy_interval` (which delegates here).
+    All attributes of one adaptive iteration share ``(M, N, p)``, so the
+    half-width ``λ`` is computed once for the batch, and the bias bound
+    ``b(α)`` once per distinct support size — the identical scalar
+    functions evaluate both, so every interval is bit-for-bit equal to
+    its scalar counterpart.
+    """
+    if len(sample_entropies) != len(support_sizes):
+        raise ParameterError(
+            f"got {len(sample_entropies)} sample entropies but"
+            f" {len(support_sizes)} support sizes"
+        )
     lam = permutation_half_width(
         sample_size, population_size, failure_probability, beta_mode=beta_mode
     )
-    bias = bias_bound(support_size, sample_size, population_size)
-    return ConfidenceInterval(
-        estimate=sample_entropy,
-        lower=max(0.0, sample_entropy - lam),
-        upper=sample_entropy + lam + bias,
-        half_width=lam,
-        bias=bias,
-    )
+    bias_cache: dict[int, float] = {}
+    intervals: list[ConfidenceInterval] = []
+    for sample_entropy, support_size in zip(sample_entropies, support_sizes):
+        if sample_entropy < 0:
+            raise ParameterError(
+                f"sample entropy must be >= 0, got {sample_entropy}"
+            )
+        bias = bias_cache.get(support_size)
+        if bias is None:
+            bias = bias_bound(support_size, sample_size, population_size)
+            bias_cache[support_size] = bias
+        intervals.append(
+            # positional: (estimate, lower, upper, half_width, bias)
+            ConfidenceInterval(
+                sample_entropy,
+                max(0.0, sample_entropy - lam),
+                sample_entropy + lam + bias,
+                lam,
+                bias,
+            )
+        )
+    return intervals
 
 
 def joint_entropy_interval(
@@ -357,6 +405,63 @@ def mutual_information_interval(
         bias_candidate=candidate_interval.bias,
         bias_joint=joint_interval.bias,
     )
+
+
+def mi_intervals(
+    target_interval: ConfidenceInterval,
+    sample_entropies: Sequence[float],
+    support_sizes: Sequence[int],
+    joint_entropies: Sequence[float],
+    target_support: int,
+    sample_size: int,
+    population_size: int,
+    failure_probability: float,
+) -> list[MutualInformationInterval]:
+    """Section 4.1 MI intervals for a batch of candidates at one sample size.
+
+    ``sample_entropies[i]`` / ``support_sizes[i]`` describe candidate
+    ``i``'s marginal, ``joint_entropies[i]`` its sample joint entropy
+    with the target; ``target_interval`` is the (shared) Lemma 3 interval
+    of the target attribute at the same ``(M, N, p)``. Candidate and
+    joint entropy intervals are built through :func:`entropy_intervals`
+    (pair supports bounded by ``u_t · u_α`` as in
+    :func:`joint_entropy_interval`), so each element is bit-for-bit the
+    interval the scalar path assembles.
+    """
+    if not len(sample_entropies) == len(support_sizes) == len(joint_entropies):
+        raise ParameterError(
+            f"got {len(sample_entropies)} sample entropies,"
+            f" {len(support_sizes)} support sizes, and"
+            f" {len(joint_entropies)} joint entropies"
+        )
+    candidate_ivs = entropy_intervals(
+        sample_entropies,
+        support_sizes,
+        sample_size,
+        population_size,
+        failure_probability,
+    )
+    joint_ivs = entropy_intervals(
+        joint_entropies,
+        [target_support * support for support in support_sizes],
+        sample_size,
+        population_size,
+        failure_probability,
+    )
+    intervals: list[MutualInformationInterval] = []
+    for candidate_iv, joint_iv, joint_entropy in zip(
+        candidate_ivs, joint_ivs, joint_entropies
+    ):
+        sample_mi = max(
+            0.0,
+            target_interval.estimate + candidate_iv.estimate - joint_entropy,
+        )
+        intervals.append(
+            mutual_information_interval(
+                target_interval, candidate_iv, joint_iv, sample_mi
+            )
+        )
+    return intervals
 
 
 def sample_size_for_width(

@@ -44,7 +44,9 @@ def _entropy_of_codes(codes: np.ndarray, radix: int) -> float:
     if codes.size == 0:
         return 0.0
     if radix <= _DENSE_LIMIT:
-        counts = np.bincount(codes, minlength=0)
+        # Histogram of derived composite codes (conditioning groups),
+        # not a sample prefix — outside the backend seam.
+        counts = np.bincount(codes, minlength=0)  # noqa: SWP009
         return entropy_from_counts(counts[counts > 0], total=codes.size)
     _, counts = np.unique(codes, return_counts=True)
     return entropy_from_counts(counts, total=codes.size)

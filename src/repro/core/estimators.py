@@ -20,6 +20,7 @@ the explicit ``b(α)`` term of Lemma 1 (see :mod:`repro.core.bounds`).
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -81,6 +82,57 @@ def entropy_from_counts(counts: np.ndarray, total: int | None = None) -> float:
     p = positive / float(total)
     # max(0, .) guards against -0.0 and tiny negative rounding residue.
     return max(0.0, float(-(p * np.log2(p)).sum()))
+
+
+def _entropy_from_trusted_counts(counts: np.ndarray, total: int) -> float:
+    """Plug-in entropy from counts whose invariants the caller guarantees.
+
+    The same arithmetic as :func:`entropy_from_counts` minus its
+    validation passes (ndim/negativity checks and the total
+    cross-check each rescan the count vector). The adaptive engine
+    calls this on the sampler's own counters — 1-D, non-negative, and
+    summing to the prefix size by construction — so skipping the
+    validation changes no bits of the result.
+    """
+    if total == 0:
+        return 0.0
+    positive = counts[counts > 0].astype(np.float64)
+    p = positive / float(total)
+    return max(0.0, float(-(p * np.log2(p)).sum()))
+
+
+def _entropies_from_trusted_counts(
+    counts_list: Sequence[np.ndarray], total: int
+) -> list[float]:
+    """Batched :func:`_entropy_from_trusted_counts` over one shared total.
+
+    One elementwise pass (mask, divide, log) over the concatenation of
+    all count vectors instead of a per-vector chain of small NumPy
+    calls. Elementwise operations are indifferent to concatenation, and
+    each vector's plug-in sum runs over its own contiguous segment —
+    same data, same length, same pairwise reduction — so every returned
+    entropy is bit-identical to the scalar helper's.
+    """
+    if total == 0:
+        return [0.0] * len(counts_list)
+    if len(counts_list) == 1:
+        return [_entropy_from_trusted_counts(counts_list[0], total)]
+    concat = np.concatenate(counts_list)
+    mask = concat > 0
+    p = concat[mask].astype(np.float64)
+    p /= float(total)
+    terms = p * np.log2(p)
+    # Segment boundaries in `terms`: cumulative nonzero count at each
+    # vector's end within `concat` (integer arithmetic — exact).
+    stops = np.cumsum([c.shape[0] for c in counts_list])
+    ends = np.cumsum(mask)[stops - 1].tolist()
+    reduce_add = np.add.reduce  # what ndarray.sum dispatches to anyway
+    entropies: list[float] = []
+    start = 0
+    for end in ends:
+        entropies.append(max(0.0, float(-reduce_add(terms[start:end]))))
+        start = end
+    return entropies
 
 
 def entropy_from_probabilities(probabilities: np.ndarray) -> float:

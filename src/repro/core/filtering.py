@@ -26,9 +26,10 @@ from repro.core.engine import (
 )
 from repro.core.results import FilterResult
 from repro.core.schedule import SampleSchedule
+from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import SchemaError
+from repro.exceptions import ParameterError, SchemaError
 
 __all__ = ["swope_filter_entropy"]
 
@@ -43,6 +44,7 @@ def swope_filter_entropy(
     attributes: list[str] | None = None,
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
+    backend: str | CountingBackend | None = None,
     trace: "QueryTrace | None" = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
@@ -69,6 +71,10 @@ def swope_filter_entropy(
         Override the sample-size schedule.
     sampler:
         Provide a pre-built sampler (sequential sampling, shared counters).
+    backend:
+        Counting backend for a freshly built sampler, as in
+        :func:`repro.core.topk.swope_top_k_entropy` (mutually exclusive
+        with ``sampler=``).
     budget, cancellation, strict:
         Resilience controls as in
         :func:`repro.core.topk.swope_top_k_entropy`; a truncated run
@@ -89,7 +95,12 @@ def swope_filter_entropy(
     if failure_probability is None:
         failure_probability = default_failure_probability(store.num_rows)
     if sampler is None:
-        sampler = PrefixSampler(store, seed=seed)
+        sampler = PrefixSampler(store, seed=seed, backend=backend)
+    elif backend is not None:
+        raise ParameterError(
+            "pass either sampler= or backend=; a pre-built sampler already"
+            " owns its counting backend"
+        )
     if schedule is None:
         schedule = SampleSchedule.for_query(
             store.num_rows,

@@ -20,6 +20,7 @@ from repro.core.engine import (
 )
 from repro.core.results import FilterResult
 from repro.core.schedule import SampleSchedule
+from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError, SchemaError
@@ -38,6 +39,7 @@ def swope_filter_mutual_information(
     candidates: list[str] | None = None,
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
+    backend: str | CountingBackend | None = None,
     trace: "QueryTrace | None" = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
@@ -58,7 +60,7 @@ def swope_filter_mutual_information(
         Error parameter of Definition 6; paper default ``0.5`` for MI.
     failure_probability:
         ``p_f``; defaults to the paper's ``1/N``.
-    seed, candidates, schedule, sampler:
+    seed, candidates, schedule, sampler, backend:
         As in :func:`repro.core.mi_topk.swope_top_k_mutual_information`.
     budget, cancellation, strict:
         Resilience controls as in
@@ -84,7 +86,12 @@ def swope_filter_mutual_information(
     if failure_probability is None:
         failure_probability = default_failure_probability(store.num_rows)
     if sampler is None:
-        sampler = PrefixSampler(store, seed=seed)
+        sampler = PrefixSampler(store, seed=seed, backend=backend)
+    elif backend is not None:
+        raise ParameterError(
+            "pass either sampler= or backend=; a pre-built sampler already"
+            " owns its counting backend"
+        )
     if schedule is None:
         schedule = SampleSchedule.for_query(
             store.num_rows,

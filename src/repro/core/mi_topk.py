@@ -26,6 +26,7 @@ from repro.core.engine import (
 )
 from repro.core.results import TopKResult
 from repro.core.schedule import SampleSchedule
+from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError, SchemaError
@@ -44,6 +45,7 @@ def swope_top_k_mutual_information(
     candidates: list[str] | None = None,
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
+    backend: str | CountingBackend | None = None,
     prune: bool = True,
     trace: "QueryTrace | None" = None,
     budget: QueryBudget | None = None,
@@ -70,7 +72,7 @@ def swope_top_k_mutual_information(
     candidates:
         Restrict the candidate set (default: all attributes except
         ``target``).
-    schedule, sampler, prune, budget, cancellation, strict:
+    schedule, sampler, backend, prune, budget, cancellation, strict:
         As in :func:`repro.core.topk.swope_top_k_entropy`.
 
     Returns
@@ -96,7 +98,12 @@ def swope_top_k_mutual_information(
     if failure_probability is None:
         failure_probability = default_failure_probability(store.num_rows)
     if sampler is None:
-        sampler = PrefixSampler(store, seed=seed)
+        sampler = PrefixSampler(store, seed=seed, backend=backend)
+    elif backend is not None:
+        raise ParameterError(
+            "pass either sampler= or backend=; a pre-built sampler already"
+            " owns its counting backend"
+        )
     if schedule is None:
         schedule = SampleSchedule.for_query(
             store.num_rows,

@@ -143,6 +143,13 @@ class RunStats:
     candidates_pruned:
         Attributes eliminated from the candidate set before the final
         iteration (0 when pruning is disabled or never fires).
+    counting_seconds:
+        Wall-clock time spent gathering and histogramming sample blocks
+        (the data-touching phase charged by the cells-scanned model).
+        Zero for algorithms that do not report phase timings.
+    bounds_seconds:
+        Wall-clock time spent computing entropies and Lemma 1–3
+        confidence intervals from the counts. Zero when not reported.
     """
 
     iterations: int = 0
@@ -151,6 +158,8 @@ class RunStats:
     cells_scanned: int = 0
     wall_seconds: float = 0.0
     candidates_pruned: int = 0
+    counting_seconds: float = 0.0
+    bounds_seconds: float = 0.0
 
     @property
     def sample_fraction(self) -> float:
@@ -158,6 +167,12 @@ class RunStats:
         if self.population_size == 0:
             return 0.0
         return self.final_sample_size / self.population_size
+
+    @property
+    def loop_seconds(self) -> float:
+        """Wall-clock time outside counting and bounds (stopping rules,
+        pruning, tracing — the interpreted part of the adaptive loop)."""
+        return max(0.0, self.wall_seconds - self.counting_seconds - self.bounds_seconds)
 
 
 @dataclass

@@ -48,6 +48,7 @@ from repro.core.mi_topk import swope_top_k_mutual_information
 from repro.core.results import FilterResult, TopKResult
 from repro.core.schedule import SampleSchedule, initial_sample_size
 from repro.core.topk import swope_top_k_entropy
+from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 
@@ -77,6 +78,13 @@ class QuerySession:
         own ``budget=`` (including ``budget=None`` to lift the limit for
         that query). Truncated queries still ratchet the sample floor —
         the prefix counters they grew stay valid for later queries.
+    backend:
+        Counting backend of the shared sampler (a
+        :data:`~repro.data.backends.BACKEND_NAMES` name, a
+        :class:`~repro.data.backends.CountingBackend` instance, or
+        ``None`` to honour ``REPRO_BACKEND``). Every query of the
+        session counts through it; results are bit-identical across
+        backends.
     """
 
     def __init__(
@@ -87,10 +95,11 @@ class QuerySession:
         sequential: bool = False,
         failure_probability: float | None = None,
         budget: QueryBudget | None = None,
+        backend: str | CountingBackend | None = None,
     ) -> None:
         self._store = store
         self._sampler = PrefixSampler(
-            store, seed=seed, sequential=sequential, retain=True
+            store, seed=seed, sequential=sequential, retain=True, backend=backend
         )
         self._failure = (
             failure_probability

@@ -29,9 +29,10 @@ from repro.core.engine import (
 )
 from repro.core.results import TopKResult
 from repro.core.schedule import SampleSchedule
+from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import SchemaError
+from repro.exceptions import ParameterError, SchemaError
 
 __all__ = ["swope_top_k_entropy"]
 
@@ -46,6 +47,7 @@ def swope_top_k_entropy(
     attributes: list[str] | None = None,
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
+    backend: str | CountingBackend | None = None,
     prune: bool = True,
     trace: "QueryTrace | None" = None,
     budget: QueryBudget | None = None,
@@ -76,6 +78,13 @@ def swope_top_k_entropy(
     sampler:
         Provide a pre-built sampler — used by experiments that want
         sequential (non-shuffled) sampling or shared counters.
+    backend:
+        Counting backend for a freshly built sampler (a
+        :data:`~repro.data.backends.BACKEND_NAMES` name, a
+        :class:`~repro.data.backends.CountingBackend` instance, or
+        ``None`` to honour ``REPRO_BACKEND``). Mutually exclusive with
+        ``sampler=``, which already owns its backend. All backends
+        return bit-identical results.
     prune:
         Apply candidate pruning (Algorithm 1, lines 15–17).
     budget:
@@ -103,7 +112,12 @@ def swope_top_k_entropy(
     if failure_probability is None:
         failure_probability = default_failure_probability(store.num_rows)
     if sampler is None:
-        sampler = PrefixSampler(store, seed=seed)
+        sampler = PrefixSampler(store, seed=seed, backend=backend)
+    elif backend is not None:
+        raise ParameterError(
+            "pass either sampler= or backend=; a pre-built sampler already"
+            " owns its counting backend"
+        )
     if schedule is None:
         schedule = SampleSchedule.for_query(
             store.num_rows,

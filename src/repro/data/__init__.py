@@ -9,6 +9,13 @@ with incremental marginal/joint counters (:mod:`repro.data.sampling`,
 :mod:`repro.data.joint`).
 """
 
+from repro.data.backends import (
+    BACKEND_NAMES,
+    CountingBackend,
+    NumpyBackend,
+    ThreadedBackend,
+    resolve_backend,
+)
 from repro.data.column_store import ColumnStore
 from repro.data.csv_io import load_csv, load_npz, save_npz
 from repro.data.describe import AttributeProfile, describe_store, profile_attribute
@@ -24,12 +31,16 @@ from repro.data.streaming import StreamingCounts, stream_csv_counts
 
 __all__ = [
     "AttributeProfile",
+    "BACKEND_NAMES",
     "ColumnStore",
     "CategoricalEncoder",
+    "CountingBackend",
     "JointCounter",
+    "NumpyBackend",
     "PrefixSampler",
     "PAPER_MAX_SUPPORT",
     "StreamingCounts",
+    "ThreadedBackend",
     "describe_store",
     "drop_constant_columns",
     "drop_high_support_columns",
@@ -38,6 +49,7 @@ __all__ = [
     "load_csv",
     "load_npz",
     "profile_attribute",
+    "resolve_backend",
     "save_npz",
     "stream_csv_counts",
 ]

@@ -116,6 +116,27 @@ class ColumnStore:
         assert num_rows is not None
         self._num_rows = num_rows
 
+    @classmethod
+    def _from_trusted_parts(
+        cls,
+        columns: dict[str, np.ndarray],
+        support_sizes: dict[str, int],
+        num_rows: int,
+    ) -> "ColumnStore":
+        """Assemble a store from parts that already satisfy the invariants.
+
+        The derived-store fast path: ``select``/``head``/``take`` of a
+        validated store cannot produce out-of-range codes or ragged
+        columns, so re-running ``__init__``'s O(cells) validation would
+        only burn time. Callers must hand over read-only integer arrays
+        of length ``num_rows`` with codes in ``[0, support)``.
+        """
+        store = cls.__new__(cls)
+        store._columns = columns
+        store._support = support_sizes
+        store._num_rows = num_rows
+        return store
+
     # ------------------------------------------------------------------
     # Basic shape accessors
     # ------------------------------------------------------------------
@@ -183,9 +204,12 @@ class ColumnStore:
         missing = [n for n in names if n not in self._columns]
         if missing:
             raise SchemaError(f"unknown attributes: {missing}")
-        return ColumnStore(
+        if not names:
+            raise SchemaError("a ColumnStore requires at least one column")
+        return ColumnStore._from_trusted_parts(
             {n: self._columns[n] for n in names},
-            support_sizes={n: self._support[n] for n in names},
+            {n: self._support[n] for n in names},
+            self._num_rows,
         )
 
     def drop(self, names: Iterable[str]) -> "ColumnStore":
@@ -208,9 +232,11 @@ class ColumnStore:
         if num_rows < 1:
             raise SchemaError(f"head() requires num_rows >= 1, got {num_rows}")
         num_rows = min(num_rows, self._num_rows)
-        return ColumnStore(
+        # Slices are views of the read-only parents: O(columns), no copy.
+        return ColumnStore._from_trusted_parts(
             {n: col[:num_rows] for n, col in self._columns.items()},
-            support_sizes=dict(self._support),
+            dict(self._support),
+            num_rows,
         )
 
     def take(self, row_indices: Sequence[int] | np.ndarray) -> "ColumnStore":
@@ -218,10 +244,15 @@ class ColumnStore:
         idx = np.asarray(row_indices)
         if idx.ndim != 1:
             raise SchemaError("row_indices must be 1-D")
-        return ColumnStore(
-            {n: col[idx] for n, col in self._columns.items()},
-            support_sizes=dict(self._support),
-        )
+        taken: dict[str, np.ndarray] = {}
+        num_rows = 0
+        for n, col in self._columns.items():
+            rows = col[idx]
+            rows.setflags(write=False)
+            taken[n] = rows
+            # gathered length, not len(idx): a boolean mask selects fewer.
+            num_rows = rows.shape[0]
+        return ColumnStore._from_trusted_parts(taken, dict(self._support), num_rows)
 
     # ------------------------------------------------------------------
     # Counting (the only data access pattern the algorithms need)

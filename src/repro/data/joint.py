@@ -93,7 +93,12 @@ class JointCounter:
             )
         if first.size == 0:
             return
-        codes = first.astype(np.int64) * self._u2 + second.astype(np.int64)
+        # asarray, not astype: already-int64 blocks (the batch layer
+        # pre-casts the shared first-column block once) pass through
+        # without a copy.
+        codes = np.asarray(first, dtype=np.int64) * self._u2 + np.asarray(
+            second, dtype=np.int64
+        )
         if self._dense is not None:
             self._dense += np.bincount(codes, minlength=self._dense.shape[0])
         else:

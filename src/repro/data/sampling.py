@@ -28,8 +28,11 @@ generators, which emit i.i.d. rows).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
+from repro.data.backends import CountingBackend, resolve_backend
 from repro.data.column_store import ColumnStore
 from repro.data.joint import JointCounter
 from repro.exceptions import ParameterError, SchemaError
@@ -63,6 +66,12 @@ class PrefixSampler:
         the releasing that query loops do when they retire attributes —
         the mode :class:`repro.core.session.QuerySession` uses to let
         later queries reuse earlier queries' samples.
+    backend:
+        Counting strategy: a :data:`~repro.data.backends.BACKEND_NAMES`
+        name, a :class:`~repro.data.backends.CountingBackend` instance,
+        or ``None`` to honour the ``REPRO_BACKEND`` environment variable
+        (default ``"numpy"``). All backends produce bit-identical counts;
+        they differ only in how the per-column work is executed.
 
     Notes
     -----
@@ -77,6 +86,7 @@ class PrefixSampler:
         *,
         sequential: bool = False,
         retain: bool = False,
+        backend: str | CountingBackend | None = None,
     ) -> None:
         self._store = store
         self._n = store.num_rows
@@ -91,6 +101,12 @@ class PrefixSampler:
         self._joints: dict[tuple[str, str], tuple[int, JointCounter]] = {}
         self._cells_scanned = 0
         self._retain = retain
+        self._backend = resolve_backend(backend)
+        # Per-iteration permutation-block cache: the [start, stop) slice
+        # of the shuffle, materialized once and shared by every column
+        # and joint pair extending over the same block.
+        self._block_range: tuple[int, int] | None = None
+        self._block_rows: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -104,6 +120,11 @@ class PrefixSampler:
     def num_rows(self) -> int:
         """``N``, the number of records in the underlying dataset."""
         return self._n
+
+    @property
+    def backend(self) -> CountingBackend:
+        """The counting backend executing this sampler's batched counts."""
+        return self._backend
 
     @property
     def cells_scanned(self) -> int:
@@ -128,12 +149,28 @@ class PrefixSampler:
                 f"prefix size must be in [1, {self._n}], got {num_rows}"
             )
 
+    def _prefix_rows(self, start: int, stop: int) -> np.ndarray | slice:
+        """Row selector for prefix positions ``start:stop``, cached per block.
+
+        Within one adaptive iteration every live column (and joint pair)
+        extends its counts over the same ``[start, stop)`` block of the
+        shuffle, so the permutation slice is materialized once and shared
+        until a different block is requested. Sequential samplers return
+        a plain slice (the physical order needs no gather).
+        """
+        if self._perm is None:
+            return slice(start, stop)
+        if self._block_range != (start, stop):
+            self._block_range = (start, stop)
+            self._block_rows = self._perm[start:stop]
+        rows = self._block_rows
+        assert rows is not None
+        return rows
+
     def _column_block(self, name: str, start: int, stop: int) -> np.ndarray:
         """Return the encoded values of rows ``start:stop`` of the prefix."""
         col = self._store.column(name)
-        if self._perm is None:
-            return col[start:stop]
-        return col[self._perm[start:stop]]
+        return col[self._prefix_rows(start, stop)]
 
     # ------------------------------------------------------------------
     # Marginal counts
@@ -151,24 +188,64 @@ class PrefixSampler:
             If ``num_rows`` is smaller than a prefix already counted for
             this attribute (prefixes only grow) or out of range.
         """
+        return self.marginal_counts_batch((name,), num_rows)[name]
+
+    def marginal_counts_batch(
+        self, names: Sequence[str], num_rows: int
+    ) -> dict[str, np.ndarray]:
+        """Occurrence counts of several attributes over the same prefix.
+
+        The batched form of :meth:`marginal_counts` (which delegates
+        here): one backend pass counts every requested column, with the
+        permutation block materialized once and shared. Counts, cost
+        accounting, and error behaviour are identical to issuing the
+        equivalent scalar calls — attributes whose counters are at
+        different prefixes each extend only their own missing block.
+
+        Returns the live counter arrays keyed by name (callers must not
+        mutate them); duplicate names collapse to one entry.
+        """
         self._check_prefix(num_rows)
-        state = self._marginals.get(name)
-        if state is None:
-            counted = 0
-            counts = np.zeros(self._store.support_size(name), dtype=np.int64)
-        else:
-            counted, counts = state
-        if num_rows < counted:
-            raise ParameterError(
-                f"prefix for {name!r} already at {counted} rows; cannot shrink"
-                f" to {num_rows} (prefix samples only grow)"
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+        starts: dict[str, int] = {}
+        counters: dict[str, np.ndarray] = {}
+        for name in ordered:
+            state = self._marginals.get(name)
+            if state is None:
+                counted = 0
+                counts = np.zeros(self._store.support_size(name), dtype=np.int64)
+            else:
+                counted, counts = state
+            if num_rows < counted:
+                raise ParameterError(
+                    f"prefix for {name!r} already at {counted} rows; cannot"
+                    f" shrink to {num_rows} (prefix samples only grow)"
+                )
+            starts[name] = counted
+            counters[name] = counts
+        # Group extensions by their start offset (counters at different
+        # prefixes need different blocks) so each block is gathered once.
+        by_start: dict[int, list[str]] = {}
+        for name in ordered:
+            if starts[name] < num_rows:
+                by_start.setdefault(starts[name], []).append(name)
+        for start, group in by_start.items():
+            rows = self._prefix_rows(start, num_rows)
+            fresh = self._backend.count_columns(
+                [self._store.column(name) for name in group],
+                [counters[name].shape[0] for name in group],
+                rows,
             )
-        if num_rows > counted:
-            block = self._column_block(name, counted, num_rows)
-            counts += np.bincount(block, minlength=counts.shape[0])
-            self._cells_scanned += num_rows - counted
-            self._marginals[name] = (num_rows, counts)
-        return counts
+            for name, delta in zip(group, fresh):
+                counters[name] += delta
+                self._cells_scanned += num_rows - start
+                self._marginals[name] = (num_rows, counters[name])
+        return counters
 
     # ------------------------------------------------------------------
     # Joint counts
@@ -180,33 +257,69 @@ class PrefixSampler:
         ``(b, a)`` share one counter internally (joint entropy is
         symmetric).
         """
-        if first == second:
-            raise SchemaError(
-                f"joint counts of an attribute with itself ({first!r}) are"
-                " the marginal counts; use marginal_counts()"
-            )
+        return self.joint_counts_batch(first, (second,), num_rows)[second]
+
+    def joint_counts_batch(
+        self, first: str, seconds: Sequence[str], num_rows: int
+    ) -> dict[str, JointCounter]:
+        """Joint counts of ``first`` with each of ``seconds`` over the prefix.
+
+        The batched form of :meth:`joint_counts` (which delegates here):
+        the block of ``first`` values for each distinct start offset is
+        gathered once and shared by every pair extending over it, as is
+        the permutation block itself. Counts, cost accounting, and error
+        behaviour are identical to the equivalent scalar calls.
+
+        Returns the live counters keyed by the second attribute's name;
+        duplicate names collapse to one entry.
+        """
         self._check_prefix(num_rows)
-        key = (first, second) if first <= second else (second, first)
-        state = self._joints.get(key)
-        if state is None:
-            counted = 0
-            counter = JointCounter(
-                self._store.support_size(key[0]), self._store.support_size(key[1])
-            )
-        else:
-            counted, counter = state
-        if num_rows < counted:
-            raise ParameterError(
-                f"prefix for pair {key!r} already at {counted} rows; cannot"
-                f" shrink to {num_rows}"
-            )
-        if num_rows > counted:
-            block_a = self._column_block(key[0], counted, num_rows)
-            block_b = self._column_block(key[1], counted, num_rows)
-            counter.update(block_a, block_b)
-            self._cells_scanned += 2 * (num_rows - counted)
-            self._joints[key] = (num_rows, counter)
-        return counter
+        # first-column blocks gathered so far, keyed by start offset
+        first_blocks: dict[int, np.ndarray] = {}
+        out: dict[str, JointCounter] = {}
+        for second in seconds:
+            if second in out:
+                continue
+            if first == second:
+                raise SchemaError(
+                    f"joint counts of an attribute with itself ({first!r}) are"
+                    " the marginal counts; use marginal_counts()"
+                )
+            key = (first, second) if first <= second else (second, first)
+            state = self._joints.get(key)
+            if state is None:
+                counted = 0
+                counter = JointCounter(
+                    self._store.support_size(key[0]),
+                    self._store.support_size(key[1]),
+                )
+            else:
+                counted, counter = state
+            if num_rows < counted:
+                raise ParameterError(
+                    f"prefix for pair {key!r} already at {counted} rows; cannot"
+                    f" shrink to {num_rows}"
+                )
+            if num_rows > counted:
+                block_first = first_blocks.get(counted)
+                if block_first is None:
+                    # Cast to the joint counter's code dtype once; every
+                    # pair sharing this block then skips its own cast.
+                    block_first = self._column_block(
+                        first, counted, num_rows
+                    ).astype(np.int64)
+                    first_blocks[counted] = block_first
+                block_second = self._store.column(second)[
+                    self._prefix_rows(counted, num_rows)
+                ]
+                if key[0] == first:
+                    counter.update(block_first, block_second)
+                else:
+                    counter.update(block_second, block_first)
+                self._cells_scanned += 2 * (num_rows - counted)
+                self._joints[key] = (num_rows, counter)
+            out[second] = counter
+        return out
 
     # ------------------------------------------------------------------
     # Cache hygiene

@@ -46,8 +46,8 @@ def check(path: str, text: str, **kwargs):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
-        assert all_codes() == [f"SWP00{i}" for i in range(1, 9)]
+    def test_all_nine_rules_registered(self):
+        assert all_codes() == [f"SWP00{i}" for i in range(1, 10)]
 
     def test_unused_suppression_code_reserved(self):
         assert UNUSED_SUPPRESSION == "SWP000"
@@ -281,6 +281,45 @@ class TestSWP008:
 
     def test_perf_counter_is_clean(self):
         assert codes(check(CORE, "import time\nstart = time.perf_counter()\n")) == []
+
+
+# ----------------------------------------------------------------------
+# SWP009 — counting stays behind the CountingBackend seam
+# ----------------------------------------------------------------------
+class TestSWP009:
+    def test_bincount_fires_outside_repro_data(self):
+        text = "import numpy as np\n\ndef f(col):\n    return np.bincount(col)\n"
+        assert codes(check(CORE, text)) == ["SWP009"]
+
+    def test_bincount_respects_numpy_alias(self):
+        text = "import numpy\n\ndef f(col):\n    return numpy.bincount(col)\n"
+        assert codes(check(CORE, text)) == ["SWP009"]
+
+    def test_joint_counter_construction_fires(self):
+        text = (
+            "from repro.data.joint import JointCounter\n\n"
+            "def f(u1, u2):\n    return JointCounter(u1, u2)\n"
+        )
+        assert codes(check(BASELINES, text)) == ["SWP009"]
+
+    def test_repro_data_is_exempt(self):
+        text = "import numpy as np\n\ndef f(col):\n    return np.bincount(col)\n"
+        assert codes(check("src/repro/data/example.py", text)) == []
+
+    def test_tests_and_scripts_out_of_scope(self):
+        text = "import numpy as np\n\ndef f(col):\n    return np.bincount(col)\n"
+        for path in ("tests/example.py", "scripts/example.py"):
+            assert codes(check(path, text)) == [], path
+
+    def test_noqa_with_justification_suppresses(self):
+        text = (
+            "import numpy as np\n\ndef f(col):\n"
+            "    # derived values, not a sample prefix\n"
+            "    return np.bincount(col)  # noqa: SWP009\n"
+        )
+        report = check(CORE, text)
+        assert codes(report) == []
+        assert [v.rule for v in report.suppressed] == ["SWP009"]
 
 
 # ----------------------------------------------------------------------

@@ -155,3 +155,48 @@ class TestCounting:
 
     def test_memory_bytes_positive(self, tiny_store):
         assert tiny_store.memory_bytes() > 0
+
+
+class TestTrustedFastPath:
+    """Derived stores must skip ``__init__``'s O(cells) re-validation."""
+
+    def test_derived_stores_never_revalidate(self, tiny_store, monkeypatch):
+        def boom(self, *args, **kwargs):
+            raise AssertionError("derived store re-ran __init__ validation")
+
+        monkeypatch.setattr(ColumnStore, "__init__", boom)
+        selected = tiny_store.select(["b", "a"])
+        prefix = tiny_store.head(4)
+        taken = tiny_store.take(np.array([3, 1, 5]))
+        assert selected.attributes == ("b", "a")
+        assert prefix.num_rows == 4
+        assert taken.num_rows == 3
+
+    def test_fast_path_matches_validated_construction(self, tiny_store):
+        names = ["b", "a"]
+        derived = tiny_store.select(names).head(5)
+        rebuilt = ColumnStore(
+            {n: tiny_store.column(n)[:5] for n in names},
+            support_sizes={n: tiny_store.support_size(n) for n in names},
+        )
+        assert derived.attributes == rebuilt.attributes
+        assert derived.num_rows == rebuilt.num_rows
+        for n in names:
+            np.testing.assert_array_equal(derived.column(n), rebuilt.column(n))
+            assert derived.support_size(n) == rebuilt.support_size(n)
+
+    def test_derived_columns_stay_read_only(self, tiny_store):
+        for derived in (
+            tiny_store.select(["a"]),
+            tiny_store.head(3),
+            tiny_store.take(np.array([0, 2])),
+        ):
+            with pytest.raises(ValueError):
+                derived.column("a")[0] = 9
+
+    def test_take_boolean_mask_row_count(self, tiny_store):
+        mask = np.zeros(tiny_store.num_rows, dtype=bool)
+        mask[[1, 4]] = True
+        taken = tiny_store.take(mask)
+        assert taken.num_rows == 2
+        assert len(taken) == 2
