@@ -1,0 +1,80 @@
+"""CI gate: trace schema version and golden traces must move together.
+
+Any change to the trace wire format must bump
+``repro.obs.events.TRACE_SCHEMA_VERSION`` *and* regenerate the committed
+golden traces in the same commit. This script enforces the pairing: it
+fails when any ``tests/golden/*.jsonl`` header records a schema version
+different from the code's current one (schema bumped without
+regeneration — or goldens regenerated against stale code), and when the
+golden directory is empty or malformed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_trace_schema.py
+
+Exit status 0 when every golden header matches, 1 otherwise. Regenerate
+the goldens with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.events import TRACE_SCHEMA_VERSION
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+REGENERATE_HINT = (
+    "regenerate with: PYTHONPATH=src python -m pytest"
+    " tests/test_golden_traces.py --update-golden"
+)
+
+
+def main() -> int:
+    paths = sorted(GOLDEN_DIR.glob("*.jsonl"))
+    if not paths:
+        print(
+            f"error: no golden traces under {GOLDEN_DIR}; {REGENERATE_HINT}",
+            file=sys.stderr,
+        )
+        return 1
+    failures = 0
+    for path in paths:
+        first_line = path.read_text().splitlines()[0] if path.read_text() else ""
+        try:
+            header = json.loads(first_line)
+        except json.JSONDecodeError:
+            print(f"error: {path.name}: first line is not JSON", file=sys.stderr)
+            failures += 1
+            continue
+        if header.get("event") != "header":
+            print(
+                f"error: {path.name}: first record is not the schema header",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        recorded = header.get("schema_version")
+        if recorded != TRACE_SCHEMA_VERSION:
+            print(
+                f"error: {path.name} was generated for trace schema"
+                f" {recorded}, but repro.obs.events.TRACE_SCHEMA_VERSION is"
+                f" {TRACE_SCHEMA_VERSION}; {REGENERATE_HINT}",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        return 1
+    print(
+        f"trace schema OK: {len(paths)} golden trace(s) at schema"
+        f" version {TRACE_SCHEMA_VERSION}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,8 @@ Public API layers
 * the data substrate under :mod:`repro.data`;
 * synthetic census-like datasets under :mod:`repro.synth`;
 * the experiment harness (paper figures/tables) under
-  :mod:`repro.experiments`.
+  :mod:`repro.experiments`;
+* observability (trace events, sinks, metrics) under :mod:`repro.obs`.
 """
 
 from repro.baselines import (
@@ -80,6 +81,13 @@ from repro.exceptions import (
     SchemaError,
 )
 from repro.dataset import Dataset
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    TraceSink,
+)
 from repro.synth import load_dataset
 
 __version__ = "1.0.0"
@@ -96,7 +104,11 @@ __all__ = [
     "EncodingError",
     "FilterResult",
     "GuaranteeStatus",
+    "InMemorySink",
+    "JsonlSink",
+    "MetricsRegistry",
     "MutualInformationInterval",
+    "NullSink",
     "ParameterError",
     "PrefixSampler",
     "QueryBudget",
@@ -109,6 +121,7 @@ __all__ = [
     "SampleSchedule",
     "SchemaError",
     "TopKResult",
+    "TraceSink",
     "drop_high_support_columns",
     "encode_table",
     "entropy_filter",

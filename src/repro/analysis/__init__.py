@@ -6,7 +6,7 @@ can only spot-check — every entropy expression must be base-2 (Lemmas
 :class:`numpy.random.Generator`, every adaptive loop must honour the
 ``QueryBudget``/``CancellationToken`` contract, and every intentional
 error must derive from the :mod:`repro.exceptions` hierarchy. This
-package encodes those invariants as AST lint rules (``SWP001``–``SWP008``)
+package encodes those invariants as AST lint rules (``SWP001``–``SWP010``)
 and runs them over the tree:
 
     python -m repro.analysis src/ tests/

@@ -78,6 +78,8 @@ class ModuleContext:
     math_aliases: set[str] = field(default_factory=set)
     #: Local names bound to the stdlib ``time`` module.
     time_aliases: set[str] = field(default_factory=set)
+    #: Local names bound to the stdlib ``sys`` module.
+    sys_aliases: set[str] = field(default_factory=set)
 
     def in_package(self, prefix: str) -> bool:
         """True when the module lives in ``prefix`` (dotted, inclusive)."""
@@ -135,12 +137,13 @@ def _module_name(path: Path) -> str:
 
 
 def _collect_import_aliases(context: ModuleContext) -> None:
-    """Record which local names refer to numpy / random / math / time."""
+    """Record which local names refer to numpy / random / math / time / sys."""
     targets = {
         "numpy": context.numpy_aliases,
         "random": context.random_aliases,
         "math": context.math_aliases,
         "time": context.time_aliases,
+        "sys": context.sys_aliases,
     }
     for node in ast.walk(context.tree):
         if isinstance(node, ast.Import):

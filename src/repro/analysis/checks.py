@@ -1,4 +1,4 @@
-"""The concrete SWOPE rules, ``SWP001``–``SWP009``.
+"""The concrete SWOPE rules, ``SWP001``–``SWP010``.
 
 Each rule encodes one repository invariant that the test suite can only
 spot-check; ``docs/ANALYSIS.md`` documents the rationale and the
@@ -648,4 +648,54 @@ def _check_counting_seam(context: ModuleContext) -> Iterator[Violation]:
                 "JointCounter construction outside repro.data: use"
                 " PrefixSampler.joint_counts_batch, or '# noqa: SWP009'"
                 " with a justification",
+            )
+
+
+# ----------------------------------------------------------------------
+# SWP010 — repro.core must not write to stdout/stderr directly
+# ----------------------------------------------------------------------
+@rule(
+    "SWP010",
+    "no-direct-output",
+    summary="repro.core must not print or write to stdout/stderr; emit trace"
+    " events instead",
+    scope="repro.core",
+)
+def _check_direct_output(context: ModuleContext) -> Iterator[Violation]:
+    """The engine narrates through :mod:`repro.obs`, never through stdout.
+
+    A ``print()`` or ``sys.stdout``/``sys.stderr`` write inside
+    :mod:`repro.core` corrupts machine-readable CLI output, breaks
+    byte-stable golden traces, and cannot be disabled per query. Emit a
+    :class:`repro.obs.events.TraceEvent` to the query's sink (or record a
+    metric) instead; human-facing rendering belongs to :mod:`repro.cli`.
+    """
+    if not context.in_package("repro.core"):
+        return
+    this = RULES["SWP010"]
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            yield context.violation(
+                this,
+                node,
+                "print() in repro.core: route diagnostics through a TraceSink"
+                " (repro.obs) so callers control the output channel",
+            )
+            continue
+        chain = _attribute_chain(node.func)
+        if (
+            chain is not None
+            and len(chain) == 3
+            and chain[0] in context.sys_aliases
+            and chain[1] in {"stdout", "stderr"}
+            and chain[2] in {"write", "writelines"}
+        ):
+            yield context.violation(
+                this,
+                node,
+                f"sys.{chain[1]}.{chain[2]} in repro.core: route diagnostics"
+                " through a TraceSink (repro.obs) so callers control the"
+                " output channel",
             )

@@ -40,7 +40,7 @@ def _parse_codes(raw: str) -> list[str]:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="SWOPE-aware static analysis (rules SWP001-SWP008).",
+        description="SWOPE-aware static analysis (rules SWP001-SWP010).",
     )
     parser.add_argument(
         "paths",

@@ -11,14 +11,20 @@ Installed as the ``repro`` console script (also runnable as
   and print the answer with run statistics; ``--timeout-ms``,
   ``--max-cells``, ``--max-sample`` bound the run (degraded answers are
   labelled with their guarantee status) and ``--strict`` turns budget
-  exhaustion into a failure exit.
+  exhaustion into a failure exit. Observability flags: ``--trace-out
+  PATH`` streams the structured trace events to a JSONL file,
+  ``--metrics-out PATH`` dumps the metrics registry (Prometheus text
+  when the path ends in ``.prom``, JSON otherwise), and
+  ``--emit-metrics`` prints a one-line metrics summary.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.applications.feature_selection import (
     cmim_select,
@@ -40,6 +46,7 @@ from repro.experiments.plotting import save_figure_svg
 from repro.experiments.regression import compare_runs
 from repro.experiments.report import render_figure, render_table2
 from repro.exceptions import ReproError
+from repro.obs import JsonlSink, MetricsRegistry
 from repro.synth.datasets import DATASETS, load_dataset
 
 __all__ = ["main", "build_parser"]
@@ -135,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="counting backend (default: REPRO_BACKEND env var or numpy);"
              " results are bit-identical across backends",
     )
+    query.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the query's structured trace events to PATH as JSONL"
+             " (byte-stable at a fixed seed)",
+    )
+    query.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics to PATH (Prometheus text exposition"
+             " when PATH ends in .prom, JSON otherwise)",
+    )
+    query.add_argument(
+        "--emit-metrics", action="store_true",
+        help="print a one-line metrics summary after the answer",
+    )
 
     select = sub.add_parser(
         "select", help="run a feature-selection application"
@@ -198,8 +219,6 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         save_figure_run(run, args.save)
         print(f"wrote {args.save}")
     if args.latex:
-        from pathlib import Path
-
         Path(args.latex).write_text(figure_latex(run, metric=args.svg_metric))
         print(f"wrote {args.latex}")
     return 0
@@ -218,6 +237,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _write_metrics_file(registry: MetricsRegistry, destination: str) -> None:
+    """Dump a registry: Prometheus text for ``.prom`` paths, JSON otherwise."""
+    path = Path(destination)
+    if path.suffix == ".prom":
+        path.write_text(registry.render_prometheus())
+    else:
+        path.write_text(
+            json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale)
     store = dataset.store
@@ -233,27 +263,43 @@ def _cmd_query(args: argparse.Namespace) -> int:
             max_cells=args.max_cells,
             max_sample_size=args.max_sample,
         )
-    resilience = {"budget": budget, "strict": args.strict, "backend": args.backend}
-    if args.kind == "topk-entropy":
-        result = swope_top_k_entropy(
-            store, args.k, epsilon=args.epsilon or 0.1, seed=args.seed,
-            **resilience,
-        )
-    elif args.kind == "filter-entropy":
-        result = swope_filter_entropy(
-            store, args.eta, epsilon=args.epsilon or 0.05, seed=args.seed,
-            **resilience,
-        )
-    elif args.kind == "topk-mi":
-        result = swope_top_k_mutual_information(
-            store, target, args.k, epsilon=args.epsilon or 0.5, seed=args.seed,
-            **resilience,
-        )
-    else:
-        result = swope_filter_mutual_information(
-            store, target, args.eta, epsilon=args.epsilon or 0.5, seed=args.seed,
-            **resilience,
-        )
+    sink = JsonlSink(args.trace_out) if args.trace_out else None
+    registry = (
+        MetricsRegistry() if (args.metrics_out or args.emit_metrics) else None
+    )
+    resilience = {
+        "budget": budget, "strict": args.strict, "backend": args.backend,
+        "trace": sink, "metrics": registry,
+    }
+    try:
+        if args.kind == "topk-entropy":
+            result = swope_top_k_entropy(
+                store, args.k, epsilon=args.epsilon or 0.1, seed=args.seed,
+                **resilience,
+            )
+        elif args.kind == "filter-entropy":
+            result = swope_filter_entropy(
+                store, args.eta, epsilon=args.epsilon or 0.05, seed=args.seed,
+                **resilience,
+            )
+        elif args.kind == "topk-mi":
+            result = swope_top_k_mutual_information(
+                store, target, args.k, epsilon=args.epsilon or 0.5, seed=args.seed,
+                **resilience,
+            )
+        else:
+            result = swope_filter_mutual_information(
+                store, target, args.eta, epsilon=args.epsilon or 0.5, seed=args.seed,
+                **resilience,
+            )
+    finally:
+        # Strict-mode truncation raises after the sink/registry already
+        # received the degraded run — flush them so the trace and metrics
+        # of a failed query still land on disk.
+        if sink is not None:
+            sink.close()
+        if registry is not None and args.metrics_out:
+            _write_metrics_file(registry, args.metrics_out)
     stats = result.stats
     print(f"answer ({len(result.attributes)} attributes):")
     if isinstance(result.estimates, dict):
@@ -284,6 +330,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         if status.undecided:
             print(f"  undecided: {', '.join(status.undecided)}")
+    if sink is not None:
+        print(f"wrote {args.trace_out} ({sink.event_count} events)")
+    if registry is not None and args.metrics_out:
+        print(f"wrote {args.metrics_out}")
+    if registry is not None and args.emit_metrics:
+        print(
+            "metrics:"
+            f" queries_total={int(registry.counter('queries_total').value)}"
+            f" iterations_total={int(registry.counter('iterations_total').value)}"
+            " cells_scanned_total="
+            f"{int(registry.counter('cells_scanned_total').value)}"
+            f" trace_events={stats.trace_event_count}"
+        )
     return 0
 
 

@@ -56,7 +56,17 @@ from repro.core.results import (
 )
 from repro.core.schedule import SampleSchedule
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import ParameterError, SchemaError
+from repro.exceptions import ParameterError, SchemaError, UnknownAttributeError
+from repro.obs.events import (
+    BudgetDegradationEvent,
+    IterationEvent,
+    PruneEvent,
+    QueryEndEvent,
+    QueryStartEvent,
+    TraceEvent,
+)
+from repro.obs.metrics import MetricsRegistry, record_query
+from repro.obs.sinks import TraceSink
 
 __all__ = [
     "EntropyScoreProvider",
@@ -65,6 +75,7 @@ __all__ = [
     "PhaseTimings",
     "QueryTrace",
     "ScoreProvider",
+    "TraceTarget",
     "adaptive_top_k",
     "adaptive_filter",
     "validate_epsilon",
@@ -346,13 +357,69 @@ class QueryTrace:
     iterations: list[IterationTrace] = field(default_factory=list)
 
     def widths(self, attribute: str) -> list[tuple[int, float]]:
-        """``(sample_size, upper - lower)`` wherever ``attribute`` appears."""
+        """``(sample_size, upper - lower)`` wherever ``attribute`` appears.
+
+        Raises
+        ------
+        UnknownAttributeError
+            If ``attribute`` never appears in any recorded iteration —
+            neither as a live candidate nor in the computed bounds. A
+            silent ``[]`` here used to mask typos in diagnostics code.
+        """
         out = []
+        known = False
         for snapshot in self.iterations:
             if attribute in snapshot.bounds:
+                known = True
                 lower, upper = snapshot.bounds[attribute]
                 out.append((snapshot.sample_size, upper - lower))
+            elif attribute in snapshot.candidates:
+                known = True
+        if not known:
+            raise UnknownAttributeError(
+                f"attribute {attribute!r} appears in no recorded iteration"
+                " of this trace"
+            )
         return out
+
+
+#: Accepted by every ``trace=`` parameter: the legacy in-process
+#: :class:`QueryTrace` recorder, or any :class:`repro.obs.sinks.TraceSink`.
+TraceTarget = Union[QueryTrace, TraceSink]
+
+
+def _score_name(provider: ScoreProvider) -> str:
+    """Human label of the provider's score, for trace/metric dimensions."""
+    return "entropy" if provider.bounds_per_attribute == 1 else "mutual_information"
+
+
+class _TraceState:
+    """Routes the loops' observations to a QueryTrace and/or a TraceSink.
+
+    Splits the polymorphic ``trace=`` argument into its two legal shapes
+    and pre-computes the only flag the hot loop consults:
+    ``active`` — whether structured events must be constructed at all.
+    A disabled sink (:class:`repro.obs.sinks.NullSink`) and ``trace=None``
+    are indistinguishable here, which is what makes the default path
+    zero-overhead: no event objects, no bounds dicts, no emit calls.
+    """
+
+    __slots__ = ("legacy", "sink", "active", "events")
+
+    def __init__(self, trace: TraceTarget | None) -> None:
+        self.legacy: QueryTrace | None = None
+        self.sink: TraceSink | None = None
+        if isinstance(trace, QueryTrace):
+            self.legacy = trace
+        elif trace is not None and getattr(trace, "enabled", True):
+            self.sink = trace
+        self.active = self.sink is not None
+        self.events = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        assert self.sink is not None
+        self.sink.emit(event)
+        self.events += 1
 
 
 # ----------------------------------------------------------------------
@@ -439,10 +506,11 @@ def adaptive_top_k(
     *,
     prune: bool = True,
     target: str | None = None,
-    trace: QueryTrace | None = None,
+    trace: TraceTarget | None = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> TopKResult:
     """Generic SWOPE approximate top-k loop (Algorithms 1 and 3).
 
@@ -479,6 +547,17 @@ def adaptive_top_k(
         :class:`~repro.exceptions.QueryCancelledError` (carrying the
         best-effort result as ``.partial``) instead of returning a
         degraded answer.
+    trace:
+        A :class:`QueryTrace` (in-process per-iteration history, the
+        legacy shape) or any :class:`~repro.obs.sinks.TraceSink`, which
+        receives the structured event stream (``query_start``,
+        ``iteration``, ``prune``, ``budget_degradation``, ``query_end``)
+        — including for degraded and strict-raised runs. ``None`` or a
+        disabled sink costs nothing.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; the run's
+        accounting feeds the standard instruments via
+        :func:`repro.obs.metrics.record_query`.
 
     Notes
     -----
@@ -503,6 +582,20 @@ def adaptive_top_k(
         sampler.cells_scanned,
         provider.timings.snapshot(),
     )
+    tracer = _TraceState(trace)
+    if tracer.active:
+        tracer.emit(
+            QueryStartEvent(
+                kind="top_k",
+                score=_score_name(provider),
+                candidates=tuple(candidates),
+                population_size=sampler.num_rows,
+                epsilon=epsilon,
+                k=k,
+                target=target,
+                schedule=tuple(schedule.sizes),
+            )
+        )
     live = list(candidates)
     iterations = 0
     answer: list[tuple[str, Interval]] = []
@@ -518,11 +611,21 @@ def adaptive_top_k(
         stopped = upper_k <= 0.0 or (
             (upper_k - width_max) / upper_k >= 1.0 - epsilon
         )
-        if trace is not None:
-            trace.iterations.append(
+        if tracer.legacy is not None:
+            tracer.legacy.iterations.append(
                 IterationTrace(
                     sample_size=sample_size,
                     candidates=list(live),
+                    bounds={a: (iv.lower, iv.upper) for a, iv in intervals.items()},
+                    stopped=stopped,
+                )
+            )
+        if tracer.active:
+            tracer.emit(
+                IterationEvent(
+                    index=index,
+                    sample_size=sample_size,
+                    candidates=tuple(live),
                     bounds={a: (iv.lower, iv.upper) for a, iv in intervals.items()},
                     stopped=stopped,
                 )
@@ -536,13 +639,28 @@ def adaptive_top_k(
             break  # pragma: no cover
         stop_reason = ctx.interruption(budget, cancellation, schedule.sizes[index + 1])
         if stop_reason is not None:
+            if tracer.active:
+                tracer.emit(
+                    BudgetDegradationEvent(
+                        sample_size=sample_size, reason=stop_reason
+                    )
+                )
             break
         if prune and len(live) > k_effective:
             lower_k = _kth_largest([intervals[a].lower for a in live], k_effective)
             survivors = [a for a in live if intervals[a].upper >= lower_k]
-            for gone in set(live) - set(survivors):
+            gone = [a for a in live if intervals[a].upper < lower_k]
+            for attribute in gone:
                 ctx.stats.candidates_pruned += 1
-                sampler.release(gone)
+                sampler.release(attribute)
+            if gone and tracer.active:
+                tracer.emit(
+                    PruneEvent(
+                        sample_size=sample_size,
+                        pruned=tuple(gone),
+                        survivors=len(survivors),
+                    )
+                )
             live = survivors
     stats = ctx.finish(iterations, sample_size)
     estimates = [
@@ -569,6 +687,28 @@ def adaptive_top_k(
         target=target,
         guarantee=guarantee,
     )
+    if tracer.active:
+        tracer.emit(
+            QueryEndEvent(
+                stopping_reason=reason,
+                guarantee_met=guarantee.guarantee_met,
+                requested_epsilon=epsilon,
+                achieved_epsilon=achieved,
+                iterations=iterations,
+                final_sample_size=sample_size,
+                cells_scanned=stats.cells_scanned,
+                answer=tuple(a for a, _ in answer),
+            )
+        )
+    stats.trace_event_count = tracer.events
+    if metrics is not None:
+        record_query(
+            metrics,
+            kind="top_k",
+            score=_score_name(provider),
+            stats=stats,
+            guarantee=guarantee,
+        )
     if strict and not guarantee.guarantee_met:
         raise_interrupted(reason, result)
     return result
@@ -583,10 +723,11 @@ def adaptive_filter(
     schedule: SampleSchedule,
     *,
     target: str | None = None,
-    trace: QueryTrace | None = None,
+    trace: TraceTarget | None = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> FilterResult:
     """Generic SWOPE approximate filtering loop (Algorithms 2 and 4).
 
@@ -599,10 +740,10 @@ def adaptive_filter(
 
     The loop ends when no attribute is undecided or the sample is the whole
     dataset (at which point widths are zero and rule 1 or 2 retires
-    everything). ``budget``/``cancellation``/``strict`` behave as in
-    :func:`adaptive_top_k`; a truncated run resolves the still-undecided
-    attributes best-effort by interval midpoint and lists them in
-    ``result.guarantee.undecided``.
+    everything). ``budget``/``cancellation``/``strict``/``trace``/
+    ``metrics`` behave as in :func:`adaptive_top_k`; a truncated run
+    resolves the still-undecided attributes best-effort by interval
+    midpoint and lists them in ``result.guarantee.undecided``.
     """
     epsilon = validate_epsilon(epsilon)
     threshold = validate_threshold(threshold)
@@ -616,6 +757,20 @@ def adaptive_filter(
         sampler.cells_scanned,
         provider.timings.snapshot(),
     )
+    tracer = _TraceState(trace)
+    if tracer.active:
+        tracer.emit(
+            QueryStartEvent(
+                kind="filter",
+                score=_score_name(provider),
+                candidates=tuple(candidates),
+                population_size=sampler.num_rows,
+                epsilon=epsilon,
+                threshold=threshold,
+                target=target,
+                schedule=tuple(schedule.sizes),
+            )
+        )
     undecided = list(candidates)
     included: list[str] = []
     estimates: dict[str, AttributeEstimate] = {}
@@ -626,13 +781,14 @@ def adaptive_filter(
     for index, sample_size in enumerate(schedule.sizes):
         iterations += 1
         still: list[str] = []
+        decided_now: list[str] = []
         snapshot = (
             IterationTrace(
                 sample_size=sample_size,
                 candidates=list(undecided),
                 bounds={},
             )
-            if trace is not None
+            if tracer.legacy is not None
             else None
         )
         intervals = provider.intervals(undecided, sample_size)
@@ -653,16 +809,27 @@ def adaptive_filter(
                 decided = False
                 still.append(attribute)
             if decided:
+                decided_now.append(attribute)
                 estimates[attribute] = _estimate_from_interval(
                     attribute, iv, sample_size
                 )
                 sampler.release(attribute)
-                if snapshot is not None:
-                    snapshot.decided.append(attribute)
         undecided = still
-        if snapshot is not None:
+        if snapshot is not None and tracer.legacy is not None:
+            snapshot.decided.extend(decided_now)
             snapshot.stopped = not undecided
-            trace.iterations.append(snapshot)
+            tracer.legacy.iterations.append(snapshot)
+        if tracer.active:
+            tracer.emit(
+                IterationEvent(
+                    index=index,
+                    sample_size=sample_size,
+                    candidates=tuple(intervals),
+                    bounds={a: (iv.lower, iv.upper) for a, iv in intervals.items()},
+                    decided=tuple(decided_now),
+                    stopped=not undecided,
+                )
+            )
         if not undecided:
             stop_reason = "converged"
             break
@@ -671,6 +838,12 @@ def adaptive_filter(
                 budget, cancellation, schedule.sizes[index + 1]
             )
             if stop_reason is not None:
+                if tracer.active:
+                    tracer.emit(
+                        BudgetDegradationEvent(
+                            sample_size=sample_size, reason=stop_reason
+                        )
+                    )
                 break
     if stop_reason is None:
         # At M = N all widths are 0, so rule 1 (η > 0) or rule 2 (η = 0)
@@ -712,6 +885,29 @@ def adaptive_filter(
         target=target,
         guarantee=guarantee,
     )
+    if tracer.active:
+        tracer.emit(
+            QueryEndEvent(
+                stopping_reason=stop_reason,
+                guarantee_met=guarantee.guarantee_met,
+                requested_epsilon=epsilon,
+                achieved_epsilon=achieved,
+                iterations=iterations,
+                final_sample_size=sample_size,
+                cells_scanned=stats.cells_scanned,
+                answer=tuple(included),
+                undecided=undecided_at_stop,
+            )
+        )
+    stats.trace_event_count = tracer.events
+    if metrics is not None:
+        record_query(
+            metrics,
+            kind="filter",
+            score=_score_name(provider),
+            stats=stats,
+            guarantee=guarantee,
+        )
     if strict and not guarantee.guarantee_met:
         raise_interrupted(stop_reason, result)
     return result

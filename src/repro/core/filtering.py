@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
-    QueryTrace,
     EntropyScoreProvider,
+    TraceTarget,
     adaptive_filter,
     default_failure_probability,
 )
@@ -30,6 +30,7 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError, SchemaError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_filter_entropy"]
 
@@ -45,10 +46,11 @@ def swope_filter_entropy(
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
     backend: str | CountingBackend | None = None,
-    trace: "QueryTrace | None" = None,
+    trace: TraceTarget | None = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> FilterResult:
     """Answer an approximate entropy filtering query with SWOPE (Algorithm 2).
 
@@ -80,6 +82,12 @@ def swope_filter_entropy(
         :func:`repro.core.topk.swope_top_k_entropy`; a truncated run
         resolves still-undecided attributes by interval midpoint and
         lists them in ``result.guarantee.undecided``.
+    trace, metrics:
+        Observability hooks as in
+        :func:`repro.core.topk.swope_top_k_entropy` — a
+        :class:`~repro.obs.sinks.TraceSink` receives the structured
+        event stream, a :class:`~repro.obs.metrics.MetricsRegistry`
+        aggregates counters and latency histograms.
 
     Returns
     -------
@@ -112,5 +120,5 @@ def swope_filter_entropy(
     provider = EntropyScoreProvider(sampler, per_bound)
     return adaptive_filter(
         provider, sampler, names, threshold, epsilon, schedule, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict,
+        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
     )

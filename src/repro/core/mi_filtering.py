@@ -13,8 +13,8 @@ import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
-    QueryTrace,
     MutualInformationScoreProvider,
+    TraceTarget,
     adaptive_filter,
     default_failure_probability,
 )
@@ -24,6 +24,7 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError, SchemaError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_filter_mutual_information"]
 
@@ -40,10 +41,11 @@ def swope_filter_mutual_information(
     schedule: SampleSchedule | None = None,
     sampler: PrefixSampler | None = None,
     backend: str | CountingBackend | None = None,
-    trace: "QueryTrace | None" = None,
+    trace: TraceTarget | None = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> FilterResult:
     """Answer an approximate MI filtering query with SWOPE (Algorithm 4).
 
@@ -65,6 +67,9 @@ def swope_filter_mutual_information(
     budget, cancellation, strict:
         Resilience controls as in
         :func:`repro.core.filtering.swope_filter_entropy`.
+    trace, metrics:
+        Observability hooks as in
+        :func:`repro.core.topk.swope_top_k_entropy`.
     """
     if target not in store:
         raise SchemaError(f"unknown target attribute {target!r}")
@@ -106,5 +111,5 @@ def swope_filter_mutual_information(
     return adaptive_filter(
         provider, sampler, names, threshold, epsilon, schedule,
         target=target, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict,
+        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
     )

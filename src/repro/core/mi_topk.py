@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
-    QueryTrace,
     MutualInformationScoreProvider,
+    TraceTarget,
     adaptive_top_k,
     default_failure_probability,
 )
@@ -30,6 +30,7 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError, SchemaError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_top_k_mutual_information"]
 
@@ -47,10 +48,11 @@ def swope_top_k_mutual_information(
     sampler: PrefixSampler | None = None,
     backend: str | CountingBackend | None = None,
     prune: bool = True,
-    trace: "QueryTrace | None" = None,
+    trace: TraceTarget | None = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> TopKResult:
     """Answer an approximate MI top-k query with SWOPE (Algorithm 3).
 
@@ -74,6 +76,9 @@ def swope_top_k_mutual_information(
         ``target``).
     schedule, sampler, backend, prune, budget, cancellation, strict:
         As in :func:`repro.core.topk.swope_top_k_entropy`.
+    trace, metrics:
+        Observability hooks as in
+        :func:`repro.core.topk.swope_top_k_entropy`.
 
     Returns
     -------
@@ -118,5 +123,5 @@ def swope_top_k_mutual_information(
     return adaptive_top_k(
         provider, sampler, names, k, epsilon, schedule, prune=prune,
         target=target, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict,
+        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
     )

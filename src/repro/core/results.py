@@ -150,6 +150,10 @@ class RunStats:
     bounds_seconds:
         Wall-clock time spent computing entropies and Lemma 1–3
         confidence intervals from the counts. Zero when not reported.
+    trace_event_count:
+        Number of structured trace events the run emitted to its
+        :class:`~repro.obs.sinks.TraceSink` (0 when tracing was disabled
+        or a legacy :class:`~repro.core.engine.QueryTrace` was used).
     """
 
     iterations: int = 0
@@ -160,6 +164,7 @@ class RunStats:
     candidates_pruned: int = 0
     counting_seconds: float = 0.0
     bounds_seconds: float = 0.0
+    trace_event_count: int = 0
 
     @property
     def sample_fraction(self) -> float:

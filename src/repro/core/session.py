@@ -51,6 +51,8 @@ from repro.core.topk import swope_top_k_entropy
 from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import TraceSink
 
 __all__ = ["QuerySession"]
 
@@ -85,6 +87,15 @@ class QuerySession:
         ``None`` to honour ``REPRO_BACKEND``). Every query of the
         session counts through it; results are bit-identical across
         backends.
+    trace:
+        Default :class:`~repro.obs.sinks.TraceSink` receiving every
+        query's structured event stream. Any query can override it by
+        passing its own ``trace=`` (including ``trace=None`` to silence
+        one query).
+    metrics:
+        Default :class:`~repro.obs.metrics.MetricsRegistry` aggregating
+        counters and latency histograms across the session's queries.
+        Per-query ``metrics=`` overrides apply as for ``trace=``.
     """
 
     def __init__(
@@ -96,6 +107,8 @@ class QuerySession:
         failure_probability: float | None = None,
         budget: QueryBudget | None = None,
         backend: str | CountingBackend | None = None,
+        trace: TraceSink | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._store = store
         self._sampler = PrefixSampler(
@@ -107,6 +120,8 @@ class QuerySession:
             else default_failure_probability(store.num_rows)
         )
         self._budget = budget
+        self._trace = trace
+        self._metrics = metrics
         self._floor = 0  # largest M any query has reached so far
         self._queries_run = 0
         self._last_cells = 0
@@ -140,6 +155,16 @@ class QuerySession:
     def default_budget(self) -> QueryBudget | None:
         """The session-wide budget applied when a query passes none."""
         return self._budget
+
+    @property
+    def default_trace(self) -> TraceSink | None:
+        """The session-wide trace sink applied when a query passes none."""
+        return self._trace
+
+    @property
+    def default_metrics(self) -> MetricsRegistry | None:
+        """The session-wide metrics registry applied when a query passes none."""
+        return self._metrics
 
     # ------------------------------------------------------------------
     def _schedule(self, num_attributes: int, max_support: int) -> SampleSchedule:
@@ -190,6 +215,8 @@ class QuerySession:
         names = kwargs.pop("attributes", None) or list(self._store.attributes)
         kwargs.setdefault("prune", False)
         kwargs.setdefault("budget", self._budget)
+        kwargs.setdefault("trace", self._trace)
+        kwargs.setdefault("metrics", self._metrics)
         return self._run(
             lambda schedule: swope_top_k_entropy(
                 self._store, k, attributes=names, sampler=self._sampler,
@@ -202,6 +229,8 @@ class QuerySession:
         """Algorithm 2 over the shared sampler."""
         names = kwargs.pop("attributes", None) or list(self._store.attributes)
         kwargs.setdefault("budget", self._budget)
+        kwargs.setdefault("trace", self._trace)
+        kwargs.setdefault("metrics", self._metrics)
         return self._run(
             lambda schedule: swope_filter_entropy(
                 self._store, threshold, attributes=names, sampler=self._sampler,
@@ -219,6 +248,8 @@ class QuerySession:
         ]
         kwargs.setdefault("prune", False)
         kwargs.setdefault("budget", self._budget)
+        kwargs.setdefault("trace", self._trace)
+        kwargs.setdefault("metrics", self._metrics)
         return self._run(
             lambda schedule: swope_top_k_mutual_information(
                 self._store, target, k, candidates=names, sampler=self._sampler,
@@ -235,6 +266,8 @@ class QuerySession:
             a for a in self._store.attributes if a != target
         ]
         kwargs.setdefault("budget", self._budget)
+        kwargs.setdefault("trace", self._trace)
+        kwargs.setdefault("metrics", self._metrics)
         return self._run(
             lambda schedule: swope_filter_mutual_information(
                 self._store, target, threshold, candidates=names,

@@ -22,8 +22,8 @@ import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
-    QueryTrace,
     EntropyScoreProvider,
+    TraceTarget,
     adaptive_top_k,
     default_failure_probability,
 )
@@ -33,6 +33,7 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError, SchemaError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_top_k_entropy"]
 
@@ -49,10 +50,11 @@ def swope_top_k_entropy(
     sampler: PrefixSampler | None = None,
     backend: str | CountingBackend | None = None,
     prune: bool = True,
-    trace: "QueryTrace | None" = None,
+    trace: TraceTarget | None = None,
     budget: QueryBudget | None = None,
     cancellation: CancellationToken | None = None,
     strict: bool = False,
+    metrics: MetricsRegistry | None = None,
 ) -> TopKResult:
     """Answer an approximate entropy top-k query with SWOPE (Algorithm 1).
 
@@ -97,6 +99,14 @@ def swope_top_k_entropy(
         Raise :class:`~repro.exceptions.BudgetExceededError` /
         :class:`~repro.exceptions.QueryCancelledError` on truncation
         instead of returning a best-effort result.
+    trace:
+        A :class:`~repro.core.engine.QueryTrace` (per-iteration history)
+        or a :class:`~repro.obs.sinks.TraceSink` receiving the
+        structured event stream — at a fixed seed the JSONL rendering is
+        byte-stable (see ``docs/OBSERVABILITY.md``).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` fed the
+        run's counters and latency histograms.
 
     Returns
     -------
@@ -129,5 +139,5 @@ def swope_top_k_entropy(
     provider = EntropyScoreProvider(sampler, per_bound)
     return adaptive_top_k(
         provider, sampler, names, k, epsilon, schedule, prune=prune, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict,
+        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
     )

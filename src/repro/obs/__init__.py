@@ -1,0 +1,75 @@
+"""Observability for the SWOPE engine: trace events, sinks, and metrics.
+
+Three layers (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.events` — the deterministic, schema-versioned trace
+  events the adaptive loops emit (``query_start``, ``iteration``,
+  ``prune``, ``budget_degradation``, ``query_end``);
+* :mod:`repro.obs.sinks` — where the event stream goes
+  (:class:`NullSink` disabled default, :class:`InMemorySink`,
+  :class:`JsonlSink` with byte-stable serialisation);
+* :mod:`repro.obs.metrics` — the aggregate layer
+  (:class:`MetricsRegistry` with counters/gauges/histograms, Prometheus
+  text exposition, JSON dump).
+
+Usage::
+
+    from repro.obs import InMemorySink, MetricsRegistry
+
+    sink, registry = InMemorySink(), MetricsRegistry()
+    result = swope_top_k_entropy(store, 4, seed=7, trace=sink, metrics=registry)
+    sink.kinds()                       # ['query_start', 'iteration', ...]
+    print(registry.render_prometheus())
+"""
+
+from repro.obs.events import (
+    TRACE_SCHEMA_VERSION,
+    BudgetDegradationEvent,
+    IterationEvent,
+    PruneEvent,
+    QueryEndEvent,
+    QueryStartEvent,
+    TraceEvent,
+    header_record,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    record_query,
+    reset_global_registry,
+)
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonlSink,
+    NullSink,
+    TraceSink,
+    serialize_event,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "BudgetDegradationEvent",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "InMemorySink",
+    "IterationEvent",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "PruneEvent",
+    "QueryEndEvent",
+    "QueryStartEvent",
+    "TraceEvent",
+    "TraceSink",
+    "global_registry",
+    "header_record",
+    "record_query",
+    "reset_global_registry",
+    "serialize_event",
+]

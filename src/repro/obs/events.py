@@ -1,0 +1,180 @@
+"""Structured trace events emitted by the adaptive SWOPE engine.
+
+Every adaptive query can narrate its own execution as a stream of typed
+events: one ``query_start``, one ``iteration`` per sample size visited,
+zero or more ``prune`` / ``budget_degradation`` events, and exactly one
+``query_end`` — even for runs truncated by a budget or raised in strict
+mode. Events are **deterministic**: they carry no wall-clock timestamps
+and every field is a pure function of the seeded shuffle, so two runs at
+the same seed serialise to byte-identical JSONL. That determinism is
+what makes the golden-trace regression suite
+(``tests/test_golden_traces.py``) possible; wall-clock quantities go to
+the :mod:`repro.obs.metrics` layer instead.
+
+The wire schema is frozen under :data:`TRACE_SCHEMA_VERSION`. Any change
+to an event's field set, field meaning, or serialisation is a schema
+change and must bump the version *and* regenerate the committed golden
+traces (``pytest --update-golden``); CI enforces the pairing via
+``scripts/check_trace_schema.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "QueryStartEvent",
+    "IterationEvent",
+    "PruneEvent",
+    "BudgetDegradationEvent",
+    "QueryEndEvent",
+    "header_record",
+]
+
+#: Version of the trace wire schema. Bump on any event-shape change and
+#: regenerate the golden traces in the same commit.
+TRACE_SCHEMA_VERSION = 1
+
+
+def header_record() -> dict[str, object]:
+    """The first record of every JSONL trace: identifies the schema."""
+    return {"event": "header", "schema_version": TRACE_SCHEMA_VERSION}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class of all trace events.
+
+    Subclasses set the class-level ``event`` discriminator (the value of
+    the ``"event"`` key on the wire) and add their payload fields.
+    ``as_dict()`` is the single serialisation point: sinks must not
+    invent their own field spellings.
+    """
+
+    event: ClassVar[str] = "event"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready payload, ``event`` discriminator included."""
+        out: dict[str, object] = {"event": type(self).event}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if isinstance(value, tuple):
+                value = list(value)
+            out[name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class QueryStartEvent(TraceEvent):
+    """Emitted once, before the first adaptive iteration.
+
+    Attributes
+    ----------
+    kind:
+        ``"top_k"`` or ``"filter"`` — which stopping rule runs.
+    score:
+        ``"entropy"`` or ``"mutual_information"``.
+    candidates:
+        Candidate attribute names, in query order.
+    population_size:
+        ``N`` of the queried dataset.
+    epsilon:
+        The requested error parameter.
+    k:
+        Requested ``k`` for top-k queries, ``None`` for filtering.
+    threshold:
+        Threshold ``η`` for filtering queries, ``None`` for top-k.
+    target:
+        MI target attribute, ``None`` for entropy queries.
+    schedule:
+        Every sample size the schedule could visit.
+    """
+
+    event: ClassVar[str] = "query_start"
+
+    kind: str
+    score: str
+    candidates: tuple[str, ...]
+    population_size: int
+    epsilon: float
+    k: int | None = None
+    threshold: float | None = None
+    target: str | None = None
+    schedule: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class IterationEvent(TraceEvent):
+    """One adaptive iteration: the intervals computed at one sample size.
+
+    ``bounds`` maps each live attribute to ``[lower, upper]``;
+    ``decided`` lists attributes retired this iteration (filtering only —
+    top-k retires candidates via :class:`PruneEvent`); ``stopped`` is
+    whether the paper's stopping rule fired at this sample size.
+    """
+
+    event: ClassVar[str] = "iteration"
+
+    index: int
+    sample_size: int
+    candidates: tuple[str, ...]
+    bounds: dict[str, tuple[float, float]]
+    decided: tuple[str, ...] = ()
+    stopped: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        out = super().as_dict()
+        out["bounds"] = {a: list(b) for a, b in self.bounds.items()}
+        return out
+
+
+@dataclass(frozen=True)
+class PruneEvent(TraceEvent):
+    """Top-k candidate pruning (Algorithm 1, lines 15-17) fired."""
+
+    event: ClassVar[str] = "prune"
+
+    sample_size: int
+    pruned: tuple[str, ...]
+    survivors: int
+
+
+@dataclass(frozen=True)
+class BudgetDegradationEvent(TraceEvent):
+    """A budget limit or cancellation truncated the run.
+
+    ``reason`` is one of the non-``converged`` members of
+    :data:`repro.core.results.STOPPING_REASONS`; ``sample_size`` is the
+    last sample size whose intervals the degraded answer is built from.
+    """
+
+    event: ClassVar[str] = "budget_degradation"
+
+    sample_size: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class QueryEndEvent(TraceEvent):
+    """Emitted exactly once per query, even on strict-mode truncation.
+
+    Mirrors the result's :class:`~repro.core.results.GuaranteeStatus`
+    and the deterministic parts of its
+    :class:`~repro.core.results.RunStats` (wall-clock timings are
+    deliberately absent — they go to the metrics layer).
+    """
+
+    event: ClassVar[str] = "query_end"
+
+    stopping_reason: str
+    guarantee_met: bool
+    requested_epsilon: float
+    achieved_epsilon: float
+    iterations: int
+    final_sample_size: int
+    cells_scanned: int
+    answer: tuple[str, ...]
+    undecided: tuple[str, ...] = field(default=())

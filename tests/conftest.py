@@ -13,6 +13,22 @@ import pytest
 from repro.data.column_store import ColumnStore
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.jsonl from the current engine instead"
+             " of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden trace files."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

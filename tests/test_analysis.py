@@ -46,8 +46,8 @@ def check(path: str, text: str, **kwargs):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_nine_rules_registered(self):
-        assert all_codes() == [f"SWP00{i}" for i in range(1, 10)]
+    def test_all_ten_rules_registered(self):
+        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 11)]
 
     def test_unused_suppression_code_reserved(self):
         assert UNUSED_SUPPRESSION == "SWP000"
@@ -320,6 +320,53 @@ class TestSWP009:
         report = check(CORE, text)
         assert codes(report) == []
         assert [v.rule for v in report.suppressed] == ["SWP009"]
+
+
+# ----------------------------------------------------------------------
+# SWP010 — no direct stdout/stderr output in repro.core
+# ----------------------------------------------------------------------
+class TestSWP010:
+    def test_print_fires_in_repro_core(self):
+        text = "def f(x):\n    print(x)\n    return x\n"
+        assert codes(check(CORE, text)) == ["SWP010"]
+
+    def test_sys_stdout_write_fires(self):
+        text = "import sys\n\ndef f(x):\n    sys.stdout.write(str(x))\n"
+        assert codes(check(CORE, text)) == ["SWP010"]
+
+    def test_sys_stderr_writelines_fires(self):
+        text = "import sys\n\ndef f(lines):\n    sys.stderr.writelines(lines)\n"
+        assert codes(check(CORE, text)) == ["SWP010"]
+
+    def test_respects_sys_alias(self):
+        text = "import sys as system\n\ndef f(x):\n    system.stdout.write(x)\n"
+        assert codes(check(CORE, text)) == ["SWP010"]
+
+    def test_cli_and_tests_out_of_scope(self):
+        text = "def f(x):\n    print(x)\n"
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/experiments/report.py",
+            "tests/example.py",
+            "scripts/example.py",
+        ):
+            assert codes(check(path, text)) == [], path
+
+    def test_other_sys_calls_allowed(self):
+        text = "import sys\n\ndef f():\n    return sys.exit(0)\n"
+        assert codes(check(CORE, text)) == []
+
+    def test_local_print_shadow_still_fires(self):
+        # The rule is syntactic by design: a local function named
+        # ``print`` in the engine is exactly as suspicious.
+        text = "def f(x, print):\n    print(x)\n"
+        assert codes(check(CORE, text)) == ["SWP010"]
+
+    def test_noqa_suppresses(self):
+        text = "def f(x):\n    print(x)  # noqa: SWP010\n"
+        report = check(CORE, text)
+        assert codes(report) == []
+        assert [v.rule for v in report.suppressed] == ["SWP010"]
 
 
 # ----------------------------------------------------------------------

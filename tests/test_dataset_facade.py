@@ -7,7 +7,7 @@ import pytest
 
 from repro import Dataset, QueryTrace
 from repro.data.column_store import ColumnStore
-from repro.exceptions import SchemaError
+from repro.exceptions import SchemaError, UnknownAttributeError
 
 
 @pytest.fixture(scope="module")
@@ -117,7 +117,16 @@ class TestQueryTrace:
         assert trace.iterations
         assert "region" in trace.iterations[0].bounds
 
-    def test_widths_for_unknown_attribute_empty(self, survey):
+    def test_widths_for_unknown_attribute_raises(self, survey):
         trace = QueryTrace()
         survey.top_k_entropy(1, seed=0, trace=trace)
-        assert trace.widths("ghost") == []
+        with pytest.raises(UnknownAttributeError, match="ghost"):
+            trace.widths("ghost")
+
+    def test_widths_for_pruned_attribute_still_works(self, survey):
+        # An attribute decided early stops appearing in later iterations'
+        # bounds but must not be treated as unknown.
+        trace = QueryTrace()
+        survey.filter_entropy(2.0, seed=0, trace=trace)
+        for attribute in survey.attributes:
+            assert trace.widths(attribute)

@@ -1,0 +1,139 @@
+"""Golden-trace regression tests for the structured event stream.
+
+Each of the four SWOPE query algorithms is run against a fixed store at a
+fixed seed with an explicit multi-iteration schedule, and its JSONL trace
+is compared byte-for-byte against a committed golden file under
+``tests/golden/``. Trace events carry no wall-clock fields, so the stream
+is a pure function of the seeded shuffle — any diff is a real behaviour
+change in the engine, not noise.
+
+The first line of every trace is the schema header; it is parsed (not
+byte-compared) so bumping ``TRACE_SCHEMA_VERSION`` fails loudly in
+``test_schema_version_matches_goldens`` rather than as a confusing
+whole-file diff. Regenerate the goldens after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import swope_filter_entropy
+from repro.core.mi_filtering import swope_filter_mutual_information
+from repro.core.mi_topk import swope_top_k_mutual_information
+from repro.core.schedule import SampleSchedule
+from repro.core.topk import swope_top_k_entropy
+from repro.data.column_store import ColumnStore
+from repro.obs import TRACE_SCHEMA_VERSION, JsonlSink
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+SEED = 7
+INITIAL_SAMPLE = 64
+
+
+def _golden_store() -> ColumnStore:
+    """Fixed store mixing separated entropies and graded MI candidates."""
+    rng = np.random.default_rng(20210614)
+    n = 2000
+    target = rng.integers(0, 6, n)
+    keep = rng.random(n) < 0.7
+    noisy = np.where(keep, target, rng.integers(0, 6, n))
+    return ColumnStore(
+        {
+            "wide": rng.integers(0, 64, n),
+            "medium": rng.integers(0, 12, n),
+            "narrow": rng.integers(0, 3, n),
+            "target": target,
+            "noisy": noisy,
+            "independent": rng.integers(0, 6, n),
+        }
+    )
+
+
+def _run_case(case: str, sink: JsonlSink, backend: str | None = None) -> None:
+    store = _golden_store()
+    schedule = SampleSchedule(store.num_rows, INITIAL_SAMPLE)
+    common = {"seed": SEED, "schedule": schedule, "trace": sink, "backend": backend}
+    if case == "topk_entropy":
+        swope_top_k_entropy(store, 2, **common)
+    elif case == "filter_entropy":
+        swope_filter_entropy(store, 2.0, **common)
+    elif case == "topk_mi":
+        swope_top_k_mutual_information(store, "target", 2, **common)
+    elif case == "filter_mi":
+        swope_filter_mutual_information(store, "target", 0.5, **common)
+    else:  # pragma: no cover - parametrisation covers all cases
+        raise AssertionError(f"unknown golden case {case!r}")
+
+
+def _trace_lines(case: str, backend: str | None = None) -> list[str]:
+    buffer = io.StringIO()
+    sink = JsonlSink(buffer)
+    _run_case(case, sink, backend)
+    sink.close()
+    return buffer.getvalue().splitlines()
+
+
+CASES = ["topk_entropy", "filter_entropy", "topk_mi", "filter_mi"]
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_trace_matches_golden(case: str, update_golden: bool) -> None:
+    lines = _trace_lines(case)
+    path = GOLDEN_DIR / f"{case}.jsonl"
+    if update_golden:
+        path.parent.mkdir(exist_ok=True)
+        path.write_text("\n".join(lines) + "\n")
+        return
+    assert path.exists(), (
+        f"golden file {path} missing; generate with --update-golden"
+    )
+    golden = path.read_text().splitlines()
+    header = json.loads(golden[0])
+    assert header["event"] == "header"
+    # Non-header lines must match byte for byte.
+    assert lines[1:] == golden[1:], (
+        f"trace for {case} drifted from {path}; if the change is"
+        " intentional, regenerate with --update-golden"
+    )
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_trace_byte_identical_across_runs(case: str) -> None:
+    assert _trace_lines(case) == _trace_lines(case)
+
+
+@pytest.mark.parametrize("case", CASES)
+def test_trace_identical_across_backends(case: str) -> None:
+    # Counting backends are bit-identical by contract, so the event
+    # stream — which contains only counted quantities — must be too.
+    assert _trace_lines(case, "numpy") == _trace_lines(case, "threads")
+
+
+def test_schema_version_matches_goldens() -> None:
+    paths = sorted(GOLDEN_DIR.glob("*.jsonl"))
+    assert paths, f"no golden traces under {GOLDEN_DIR}"
+    for path in paths:
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"event": "header", "schema_version": TRACE_SCHEMA_VERSION}, (
+            f"{path.name} was generated for schema"
+            f" {header.get('schema_version')}; current is"
+            f" {TRACE_SCHEMA_VERSION} — regenerate with --update-golden"
+        )
+
+
+def test_goldens_have_multi_iteration_traces() -> None:
+    # The schedule is chosen so every golden exercises the adaptive loop;
+    # a one-iteration trace would regression-test almost nothing.
+    for path in sorted(GOLDEN_DIR.glob("*.jsonl")):
+        kinds = [json.loads(line)["event"] for line in path.read_text().splitlines()]
+        assert kinds[0] == "header"
+        assert kinds[1] == "query_start"
+        assert kinds[-1] == "query_end"
+        assert kinds.count("iteration") >= 2, f"{path.name}: {kinds}"
