@@ -5,8 +5,10 @@ Any change to the trace wire format must bump
 golden traces in the same commit. This script enforces the pairing: it
 fails when any ``tests/golden/*.jsonl`` header records a schema version
 different from the code's current one (schema bumped without
-regeneration — or goldens regenerated against stale code), and when the
-golden directory is empty or malformed.
+regeneration — or goldens regenerated against stale code), when any
+record's ``event`` kind is not in ``repro.obs.events.EVENT_KINDS``
+(stale goldens from before a kind was renamed, or a kind emitted but
+never registered), and when the golden directory is empty or malformed.
 
 Usage::
 
@@ -24,7 +26,9 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.events import TRACE_SCHEMA_VERSION
+from repro.obs.events import EVENT_KINDS, TRACE_SCHEMA_VERSION
+
+KNOWN_KINDS = frozenset(EVENT_KINDS) | {"header"}
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
@@ -44,7 +48,8 @@ def main() -> int:
         return 1
     failures = 0
     for path in paths:
-        first_line = path.read_text().splitlines()[0] if path.read_text() else ""
+        lines = path.read_text().splitlines()
+        first_line = lines[0] if lines else ""
         try:
             header = json.loads(first_line)
         except json.JSONDecodeError:
@@ -67,6 +72,26 @@ def main() -> int:
                 file=sys.stderr,
             )
             failures += 1
+            continue
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                print(
+                    f"error: {path.name}:{lineno}: record is not JSON",
+                    file=sys.stderr,
+                )
+                failures += 1
+                continue
+            kind = record.get("event")
+            if kind not in KNOWN_KINDS:
+                print(
+                    f"error: {path.name}:{lineno}: unknown event kind"
+                    f" {kind!r} (registered kinds: {sorted(KNOWN_KINDS)});"
+                    f" {REGENERATE_HINT}",
+                    file=sys.stderr,
+                )
+                failures += 1
     if failures:
         return 1
     print(

@@ -699,3 +699,62 @@ def _check_direct_output(context: ModuleContext) -> Iterator[Violation]:
                 " through a TraceSink (repro.obs) so callers control the"
                 " output channel",
             )
+
+
+# ----------------------------------------------------------------------
+# SWP011 — the adaptive loops are reached only through the planner
+# ----------------------------------------------------------------------
+_ADAPTIVE_LOOPS = {"adaptive_top_k", "adaptive_filter"}
+
+#: Modules allowed to touch the loops directly: the engine defines them,
+#: and the planner's ``run_query_spec`` is the single sanctioned dispatch
+#: point (the four ``swope_*`` entry points are spec wrappers over it).
+_ADAPTIVE_LOOP_MODULES = {"repro.core.engine", "repro.core.plan"}
+
+
+@rule(
+    "SWP011",
+    "loops-behind-planner",
+    summary="adaptive_top_k/adaptive_filter outside repro.core.plan must go"
+    " through the planner",
+    scope="src/repro except repro.core.engine and repro.core.plan",
+)
+def _check_planner_seam(context: ModuleContext) -> Iterator[Violation]:
+    """Keep the adaptive loops behind the query-planner seam.
+
+    :func:`repro.core.plan.run_query_spec` is the single place that
+    builds providers, schedules, and failure budgets before entering
+    :func:`~repro.core.engine.adaptive_top_k` /
+    :func:`~repro.core.engine.adaptive_filter`; a direct call elsewhere
+    in ``src/repro`` re-derives (and eventually diverges from) that
+    wiring and bypasses plan-wide budgets, shared-scan accounting, and
+    the plan trace events. Route new call sites through a
+    :class:`~repro.core.plan.QuerySpec` — experiment harnesses that
+    must drive a loop raw may suppress with ``# noqa: SWP011`` and a
+    justification.
+    """
+    if (
+        not context.in_package("repro")
+        or context.module in _ADAPTIVE_LOOP_MODULES
+    ):
+        return
+    this = RULES["SWP011"]
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name: str | None = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        else:
+            chain = _attribute_chain(node.func)
+            if chain is not None:
+                name = chain[-1]
+        if name in _ADAPTIVE_LOOPS:
+            yield context.violation(
+                this,
+                node,
+                f"{name}() outside repro.core.plan: build a QuerySpec and"
+                " call run_query_spec (or a swope_* entry point) so budgets,"
+                " shared-scan accounting, and plan events stay wired, or"
+                " '# noqa: SWP011' with a justification",
+            )

@@ -16,6 +16,11 @@ Installed as the ``repro`` console script (also runnable as
   ``--metrics-out PATH`` dumps the metrics registry (Prometheus text
   when the path ends in ``.prom``, JSON otherwise), and
   ``--emit-metrics`` prints a one-line metrics summary.
+* ``repro query --queries plan.json`` — batch mode: plan the queries
+  described in the JSON file (see ``docs/PLANNER.md``) and execute them
+  over one shared scan, printing each query's answer plus shared-cost
+  accounting. The budget flags apply plan-wide; trace/metrics flags
+  capture the whole plan.
 """
 
 from __future__ import annotations
@@ -32,7 +37,10 @@ from repro.applications.feature_selection import (
     top_relevance_select,
 )
 from repro.core import (
+    PlanExecutor,
     QueryBudget,
+    load_plan,
+    plan_queries,
     swope_filter_entropy,
     swope_filter_mutual_information,
     swope_top_k_entropy,
@@ -45,7 +53,7 @@ from repro.experiments.persistence import load_figure_run, save_figure_run
 from repro.experiments.plotting import save_figure_svg
 from repro.experiments.regression import compare_runs
 from repro.experiments.report import render_figure, render_table2
-from repro.exceptions import ReproError
+from repro.exceptions import ParameterError, ReproError
 from repro.obs import JsonlSink, MetricsRegistry
 from repro.synth.datasets import DATASETS, load_dataset
 
@@ -107,10 +115,19 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--cells-tolerance", type=float, default=0.25)
     compare.add_argument("--accuracy-tolerance", type=float, default=0.02)
 
-    query = sub.add_parser("query", help="run a single SWOPE query")
+    query = sub.add_parser(
+        "query", help="run one SWOPE query (or a --queries plan batch)"
+    )
     query.add_argument(
         "kind",
+        nargs="?",
+        default=None,
         choices=["topk-entropy", "filter-entropy", "topk-mi", "filter-mi"],
+    )
+    query.add_argument(
+        "--queries", default=None, metavar="PATH",
+        help="batch mode: execute every query of a JSON plan file over one"
+             " shared scan (mutually exclusive with the positional kind)",
     )
     query.add_argument("--dataset", choices=sorted(DATASETS), default="cdc")
     query.add_argument("--scale", type=float, default=1.0)
@@ -248,21 +265,72 @@ def _write_metrics_file(registry: MetricsRegistry, destination: str) -> None:
         )
 
 
+def _query_budget(args: argparse.Namespace) -> QueryBudget | None:
+    """Assemble the budget from the ``--timeout-ms``-family flags."""
+    if (
+        args.timeout_ms is None
+        and args.max_cells is None
+        and args.max_sample is None
+    ):
+        return None
+    return QueryBudget(
+        deadline_ms=args.timeout_ms,
+        max_cells=args.max_cells,
+        max_sample_size=args.max_sample,
+    )
+
+
+def _print_answer(result, *, phases: bool = False) -> None:
+    """Print one query's answer block: estimates, stats, guarantee."""
+    stats = result.stats
+    print(f"answer ({len(result.attributes)} attributes):")
+    if isinstance(result.estimates, dict):
+        estimates = [result.estimates[a] for a in result.attributes]
+    else:
+        estimates = result.estimates
+    for est in estimates:
+        print(
+            f"  {est.attribute:20s} estimate={est.estimate:8.4f}"
+            f"  bounds=[{est.lower:.4f}, {est.upper:.4f}]"
+        )
+    print(
+        f"stats: M={stats.final_sample_size:,}/{stats.population_size:,}"
+        f" ({stats.sample_fraction:.1%}), {stats.iterations} iterations,"
+        f" {stats.cells_scanned:,} cells, {stats.wall_seconds:.3f}s"
+    )
+    if phases:
+        print(
+            f"phases: counting={stats.counting_seconds:.3f}s"
+            f" bounds={stats.bounds_seconds:.3f}s loop={stats.loop_seconds:.3f}s"
+        )
+    status = result.guarantee
+    if status is not None:
+        met = "met" if status.guarantee_met else "NOT met"
+        print(
+            f"guarantee: {met} ({status.stopping_reason}); epsilon"
+            f" requested={status.requested_epsilon:g}"
+            f" achieved={status.achieved_epsilon:g}"
+        )
+        if status.undecided:
+            print(f"  undecided: {', '.join(status.undecided)}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.queries is not None and args.kind is not None:
+        raise ParameterError(
+            "pass either a query kind or --queries PLAN, not both"
+        )
+    if args.queries is not None:
+        return _cmd_query_batch(args)
+    if args.kind is None:
+        raise ParameterError(
+            "query needs a kind (topk-entropy, filter-entropy, topk-mi,"
+            " filter-mi) or a --queries plan file"
+        )
     dataset = load_dataset(args.dataset, scale=args.scale)
     store = dataset.store
     target = args.target or dataset.mi_targets[0]
-    budget = None
-    if (
-        args.timeout_ms is not None
-        or args.max_cells is not None
-        or args.max_sample is not None
-    ):
-        budget = QueryBudget(
-            deadline_ms=args.timeout_ms,
-            max_cells=args.max_cells,
-            max_sample_size=args.max_sample,
-        )
+    budget = _query_budget(args)
     sink = JsonlSink(args.trace_out) if args.trace_out else None
     registry = (
         MetricsRegistry() if (args.metrics_out or args.emit_metrics) else None
@@ -300,36 +368,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             sink.close()
         if registry is not None and args.metrics_out:
             _write_metrics_file(registry, args.metrics_out)
-    stats = result.stats
-    print(f"answer ({len(result.attributes)} attributes):")
-    if isinstance(result.estimates, dict):
-        estimates = [result.estimates[a] for a in result.attributes]
-    else:
-        estimates = result.estimates
-    for est in estimates:
-        print(
-            f"  {est.attribute:20s} estimate={est.estimate:8.4f}"
-            f"  bounds=[{est.lower:.4f}, {est.upper:.4f}]"
-        )
-    print(
-        f"stats: M={stats.final_sample_size:,}/{stats.population_size:,}"
-        f" ({stats.sample_fraction:.1%}), {stats.iterations} iterations,"
-        f" {stats.cells_scanned:,} cells, {stats.wall_seconds:.3f}s"
-    )
-    print(
-        f"phases: counting={stats.counting_seconds:.3f}s"
-        f" bounds={stats.bounds_seconds:.3f}s loop={stats.loop_seconds:.3f}s"
-    )
-    status = result.guarantee
-    if status is not None:
-        met = "met" if status.guarantee_met else "NOT met"
-        print(
-            f"guarantee: {met} ({status.stopping_reason}); epsilon"
-            f" requested={status.requested_epsilon:g}"
-            f" achieved={status.achieved_epsilon:g}"
-        )
-        if status.undecided:
-            print(f"  undecided: {', '.join(status.undecided)}")
+    _print_answer(result, phases=True)
     if sink is not None:
         print(f"wrote {args.trace_out} ({sink.event_count} events)")
     if registry is not None and args.metrics_out:
@@ -341,7 +380,73 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f" iterations_total={int(registry.counter('iterations_total').value)}"
             " cells_scanned_total="
             f"{int(registry.counter('cells_scanned_total').value)}"
-            f" trace_events={stats.trace_event_count}"
+            f" trace_events={result.stats.trace_event_count}"
+        )
+    return 0
+
+
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    """Execute a ``--queries`` plan file over one shared scan."""
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    store = dataset.store
+    specs = load_plan(args.queries)
+    plan = plan_queries(store, specs)
+    budget = _query_budget(args)
+    sink = JsonlSink(args.trace_out) if args.trace_out else None
+    registry = (
+        MetricsRegistry() if (args.metrics_out or args.emit_metrics) else None
+    )
+    executor = PlanExecutor(
+        store,
+        seed=args.seed,
+        backend=args.backend,
+        budget=budget,
+        trace=sink,
+        metrics=registry,
+    )
+    try:
+        outcome = executor.execute(plan, strict=args.strict)
+    finally:
+        # As in single-query mode: a strict-mode failure already streamed
+        # its partial trace/metrics — flush them before propagating.
+        if sink is not None:
+            sink.close()
+        if registry is not None and args.metrics_out:
+            _write_metrics_file(registry, args.metrics_out)
+    stats = outcome.stats
+    print(
+        f"plan: {len(plan)} queries over {args.dataset}"
+        f" (N={store.num_rows:,})"
+    )
+    for spec in plan:
+        name = spec.name or ""
+        print(f"\n[{name}] {spec.describe()}")
+        _print_answer(outcome.results[name])
+    print("\nshared-scan accounting:")
+    print(f"  cells scanned (plan total): {stats.cells_scanned:,}")
+    for name in plan.names:
+        marginal = stats.per_query_cells.get(name, 0)
+        print(f"    {name:20s} +{marginal:,} cells")
+    print(
+        f"  sample floor reached: {stats.sample_floor:,}"
+        f"/{stats.population_size:,} rows"
+    )
+    print(
+        f"  retained counters: {len(executor.sampler.counted_attributes)}"
+        " attributes"
+    )
+    if sink is not None:
+        print(f"wrote {args.trace_out} ({sink.event_count} events)")
+    if registry is not None and args.metrics_out:
+        print(f"wrote {args.metrics_out}")
+    if registry is not None and args.emit_metrics:
+        print(
+            "metrics:"
+            f" plans_total={int(registry.counter('plans_total').value)}"
+            f" plan_queries_total="
+            f"{int(registry.counter('plan_queries_total').value)}"
+            " plan_cells_scanned_total="
+            f"{int(registry.counter('plan_cells_scanned_total').value)}"
         )
     return 0
 

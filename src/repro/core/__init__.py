@@ -6,6 +6,9 @@ The primary contribution of the paper lives here:
   concentration, confidence intervals, sample-size law);
 * :mod:`repro.core.schedule` — ``M0``, doubling schedule, failure budgets;
 * :mod:`repro.core.engine` — the shared adaptive loop and score providers;
+* :mod:`repro.core.plan` — declarative :class:`~repro.core.plan.QuerySpec`
+  batches, the planner, and the shared-scan
+  :class:`~repro.core.plan.PlanExecutor`;
 * :func:`~repro.core.topk.swope_top_k_entropy` — Algorithm 1;
 * :func:`~repro.core.filtering.swope_filter_entropy` — Algorithm 2;
 * :func:`~repro.core.mi_topk.swope_top_k_mutual_information` — Algorithm 3;
@@ -46,6 +49,16 @@ from repro.core.estimators import (
 from repro.core.filtering import swope_filter_entropy
 from repro.core.mi_filtering import swope_filter_mutual_information
 from repro.core.mi_topk import swope_top_k_mutual_information
+from repro.core.plan import (
+    PlanExecutor,
+    PlanResult,
+    PlanStats,
+    QueryPlan,
+    QuerySpec,
+    load_plan,
+    plan_queries,
+    run_query_spec,
+)
 from repro.core.results import (
     AttributeEstimate,
     FilterResult,
@@ -67,8 +80,13 @@ __all__ = [
     "IterationTrace",
     "MutualInformationInterval",
     "PhaseTimings",
+    "PlanExecutor",
+    "PlanResult",
+    "PlanStats",
     "QueryBudget",
+    "QueryPlan",
     "QuerySession",
+    "QuerySpec",
     "QueryTrace",
     "MutualInformationScoreProvider",
     "RunStats",
@@ -85,12 +103,15 @@ __all__ = [
     "jackknife_entropy",
     "joint_entropy_from_counter",
     "joint_entropy_interval",
+    "load_plan",
     "max_iterations",
     "mi_intervals",
     "miller_madow_entropy",
     "mutual_information_from_counts",
     "mutual_information_interval",
     "permutation_half_width",
+    "plan_queries",
+    "run_query_spec",
     "sample_size_for_width",
     "swope_filter_entropy",
     "swope_filter_mutual_information",

@@ -15,21 +15,18 @@ smallest gap ``δ`` that dominates the exact EntropyFilter baseline.
 
 from __future__ import annotations
 
+from typing import cast
+
 import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
-from repro.core.engine import (
-    EntropyScoreProvider,
-    TraceTarget,
-    adaptive_filter,
-    default_failure_probability,
-)
+from repro.core.engine import TraceTarget
+from repro.core.plan import QuerySpec, run_query_spec
 from repro.core.results import FilterResult
 from repro.core.schedule import SampleSchedule
 from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import ParameterError, SchemaError
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_filter_entropy"]
@@ -96,29 +93,20 @@ def swope_filter_entropy(
         for every examined attribute, run statistics, and the
         :class:`~repro.core.results.GuaranteeStatus` of the run.
     """
-    names = list(attributes) if attributes is not None else list(store.attributes)
-    unknown = [a for a in names if a not in store]
-    if unknown:
-        raise SchemaError(f"unknown attributes: {unknown}")
-    if failure_probability is None:
-        failure_probability = default_failure_probability(store.num_rows)
-    if sampler is None:
-        sampler = PrefixSampler(store, seed=seed, backend=backend)
-    elif backend is not None:
-        raise ParameterError(
-            "pass either sampler= or backend=; a pre-built sampler already"
-            " owns its counting backend"
-        )
-    if schedule is None:
-        schedule = SampleSchedule.for_query(
-            store.num_rows,
-            len(names),
-            failure_probability,
-            max(store.support_size(a) for a in names),
-        )
-    per_bound = schedule.per_round_failure(failure_probability, len(names))
-    provider = EntropyScoreProvider(sampler, per_bound)
-    return adaptive_filter(
-        provider, sampler, names, threshold, epsilon, schedule, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
+    spec = QuerySpec(
+        kind="filter",
+        score="entropy",
+        threshold=threshold,
+        epsilon=epsilon,
+        attributes=tuple(attributes) if attributes is not None else None,
+    )
+    return cast(
+        FilterResult,
+        run_query_spec(
+            store, spec,
+            failure_probability=failure_probability, seed=seed,
+            schedule=schedule, sampler=sampler, backend=backend,
+            trace=trace, budget=budget, cancellation=cancellation,
+            strict=strict, metrics=metrics,
+        ),
     )

@@ -9,21 +9,18 @@ threshold ``η`` per the Definition 6 relaxation.
 
 from __future__ import annotations
 
+from typing import cast
+
 import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
-from repro.core.engine import (
-    MutualInformationScoreProvider,
-    TraceTarget,
-    adaptive_filter,
-    default_failure_probability,
-)
+from repro.core.engine import TraceTarget
+from repro.core.plan import QuerySpec, run_query_spec
 from repro.core.results import FilterResult
 from repro.core.schedule import SampleSchedule
 from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import ParameterError, SchemaError
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_filter_mutual_information"]
@@ -71,45 +68,21 @@ def swope_filter_mutual_information(
         Observability hooks as in
         :func:`repro.core.topk.swope_top_k_entropy`.
     """
-    if target not in store:
-        raise SchemaError(f"unknown target attribute {target!r}")
-    if candidates is None:
-        names = [a for a in store.attributes if a != target]
-    else:
-        names = list(candidates)
-        unknown = [a for a in names if a not in store]
-        if unknown:
-            raise SchemaError(f"unknown attributes: {unknown}")
-        if target in names:
-            raise ParameterError(
-                f"target attribute {target!r} cannot also be a candidate"
-            )
-    if not names:
-        raise ParameterError(
-            "MI filtering query needs at least one candidate attribute"
-        )
-    if failure_probability is None:
-        failure_probability = default_failure_probability(store.num_rows)
-    if sampler is None:
-        sampler = PrefixSampler(store, seed=seed, backend=backend)
-    elif backend is not None:
-        raise ParameterError(
-            "pass either sampler= or backend=; a pre-built sampler already"
-            " owns its counting backend"
-        )
-    if schedule is None:
-        schedule = SampleSchedule.for_query(
-            store.num_rows,
-            len(names) + 1,
-            failure_probability,
-            max(store.support_size(a) for a in [target, *names]),
-        )
-    per_bound = schedule.per_round_failure(
-        failure_probability, len(names), bounds_per_attribute=3
+    spec = QuerySpec(
+        kind="filter",
+        score="mutual_information",
+        threshold=threshold,
+        epsilon=epsilon,
+        target=target,
+        attributes=tuple(candidates) if candidates is not None else None,
     )
-    provider = MutualInformationScoreProvider(sampler, target, per_bound)
-    return adaptive_filter(
-        provider, sampler, names, threshold, epsilon, schedule,
-        target=target, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
+    return cast(
+        FilterResult,
+        run_query_spec(
+            store, spec,
+            failure_probability=failure_probability, seed=seed,
+            schedule=schedule, sampler=sampler, backend=backend,
+            trace=trace, budget=budget, cancellation=cancellation,
+            strict=strict, metrics=metrics,
+        ),
     )

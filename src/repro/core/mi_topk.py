@@ -15,21 +15,18 @@ entropy top-k query (Definition 5, Theorem 5) with three differences:
 
 from __future__ import annotations
 
+from typing import cast
+
 import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
-from repro.core.engine import (
-    MutualInformationScoreProvider,
-    TraceTarget,
-    adaptive_top_k,
-    default_failure_probability,
-)
+from repro.core.engine import TraceTarget
+from repro.core.plan import QuerySpec, run_query_spec
 from repro.core.results import TopKResult
 from repro.core.schedule import SampleSchedule
 from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import ParameterError, SchemaError
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_top_k_mutual_information"]
@@ -85,43 +82,22 @@ def swope_top_k_mutual_information(
     TopKResult
         ``result.target`` records the target attribute.
     """
-    if target not in store:
-        raise SchemaError(f"unknown target attribute {target!r}")
-    if candidates is None:
-        names = [a for a in store.attributes if a != target]
-    else:
-        names = list(candidates)
-        unknown = [a for a in names if a not in store]
-        if unknown:
-            raise SchemaError(f"unknown attributes: {unknown}")
-        if target in names:
-            raise ParameterError(
-                f"target attribute {target!r} cannot also be a candidate"
-            )
-    if not names:
-        raise ParameterError("MI top-k query needs at least one candidate attribute")
-    if failure_probability is None:
-        failure_probability = default_failure_probability(store.num_rows)
-    if sampler is None:
-        sampler = PrefixSampler(store, seed=seed, backend=backend)
-    elif backend is not None:
-        raise ParameterError(
-            "pass either sampler= or backend=; a pre-built sampler already"
-            " owns its counting backend"
-        )
-    if schedule is None:
-        schedule = SampleSchedule.for_query(
-            store.num_rows,
-            len(names) + 1,
-            failure_probability,
-            max(store.support_size(a) for a in [target, *names]),
-        )
-    per_bound = schedule.per_round_failure(
-        failure_probability, len(names), bounds_per_attribute=3
+    spec = QuerySpec(
+        kind="top_k",
+        score="mutual_information",
+        k=k,
+        epsilon=epsilon,
+        target=target,
+        attributes=tuple(candidates) if candidates is not None else None,
+        prune=prune,
     )
-    provider = MutualInformationScoreProvider(sampler, target, per_bound)
-    return adaptive_top_k(
-        provider, sampler, names, k, epsilon, schedule, prune=prune,
-        target=target, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
+    return cast(
+        TopKResult,
+        run_query_spec(
+            store, spec,
+            failure_probability=failure_probability, seed=seed,
+            schedule=schedule, sampler=sampler, backend=backend,
+            trace=trace, budget=budget, cancellation=cancellation,
+            strict=strict, metrics=metrics,
+        ),
     )

@@ -1,0 +1,1028 @@
+"""Query plans: declarative specs, a planner, and a shared-scan executor.
+
+The paper's four algorithms share one substrate — a prefix of a single
+row shuffle and the counts over it — so a *batch* of entropy/MI top-k
+and filtering queries over the same table should share every counting
+pass. This module is that batch-serving layer:
+
+* :class:`QuerySpec` — one query, declaratively: ``kind`` (``top_k`` or
+  ``filter``) × ``score`` (``entropy`` or ``mutual_information``) plus
+  the per-kind parameters (``k``, ``threshold``, ``epsilon``,
+  ``target``, ``attributes``). :func:`load_plan` parses a JSON file of
+  specs for the CLI's ``--queries`` batch mode.
+* :func:`plan_queries` — validate, normalise, and dedup a spec list
+  into a :class:`QueryPlan`: every candidate list resolved against the
+  store, epsilons filled from the paper defaults, and the plan's count
+  requirements grouped into ``marginal_attributes`` (ordered union of
+  marginal counters) and ``joint_targets`` (per-target joint groups).
+  Structural problems raise :class:`~repro.exceptions.PlanError` here,
+  not as late ``KeyError``\\ s deep in the adaptive loop.
+* :class:`PlanExecutor` — run plans over one shared, counter-retaining
+  :class:`~repro.data.sampling.PrefixSampler`. Each needed count is
+  fetched exactly once via the batched backend API: the first query
+  pays for the prefix counters it grows, later queries reuse them and
+  only pay for counters (or prefix extensions) the batch has not seen.
+  Queries retire individually as their Definition 5/6 stopping rules
+  fire; per-query failure budgets stay per-query, so every result keeps
+  its own paper guarantee. Budgets and cancellation apply plan-wide,
+  degrading per-query with an honest
+  :class:`~repro.core.results.GuaranteeStatus`.
+
+Scheduling note (why "interleaved" is a ratchet, not strict lock-step):
+the executor starts each query's schedule at
+``min(N, max(M0, floor))`` where ``floor`` is the largest sample size
+any earlier query of the batch reached. Later queries therefore join
+the scan at the frontier the batch has already paid for — their early,
+cheap iterations collapse into counter reuse — while each query's
+per-round failure budget is computed from its own (shorter) actual
+schedule, exactly as in :class:`~repro.core.session.QuerySession`.
+This keeps every single-spec plan bit-identical to its legacy
+``swope_*`` call and a mixed plan bit-identical to the same queries run
+sequentially in a fresh session at the same seed (the regression suite
+in ``tests/test_plan.py`` pins both).
+
+Statistical note: each query's guarantee is individually valid, but the
+queries of one plan share one shuffle, so their *failure events are
+dependent*. If you need independent failures across queries, run them
+in separately seeded executors (see ``docs/PLANNER.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+import numpy as np
+
+from repro.core.budget import CancellationToken, QueryBudget
+from repro.core.engine import (
+    EntropyScoreProvider,
+    MutualInformationScoreProvider,
+    ScoreProvider,
+    TraceTarget,
+    adaptive_filter,
+    adaptive_top_k,
+    default_failure_probability,
+    validate_epsilon,
+    validate_k,
+)
+from repro.core.results import FilterResult, TopKResult
+from repro.core.schedule import SampleSchedule, initial_sample_size
+from repro.data.backends import CountingBackend
+from repro.data.column_store import ColumnStore
+from repro.data.sampling import PrefixSampler
+from repro.exceptions import (
+    DataFormatError,
+    ParameterError,
+    PlanError,
+    QueryInterruptedError,
+    SchemaError,
+)
+from repro.obs.events import (
+    PlanEndEvent,
+    PlanStartEvent,
+    QueryRetiredEvent,
+    TraceEvent,
+)
+from repro.obs.metrics import MetricsRegistry, record_plan
+from repro.obs.sinks import TraceSink
+
+__all__ = [
+    "PAPER_EPSILON",
+    "QUERY_KINDS",
+    "QUERY_SCORES",
+    "PlanExecutor",
+    "PlanResult",
+    "PlanStats",
+    "QueryPlan",
+    "QuerySpec",
+    "load_plan",
+    "plan_queries",
+    "run_query_spec",
+]
+
+#: The two stopping rules (Definitions 5 and 6 of the paper).
+QUERY_KINDS = ("top_k", "filter")
+
+#: The two score functions the engine can bound.
+QUERY_SCORES = ("entropy", "mutual_information")
+
+#: The paper's evaluation-default ``ε`` per query shape (Section 6.1);
+#: used when a spec leaves ``epsilon`` unset, matching the defaults of
+#: the four ``swope_*`` entry points.
+PAPER_EPSILON = {
+    ("top_k", "entropy"): 0.1,
+    ("filter", "entropy"): 0.05,
+    ("top_k", "mutual_information"): 0.5,
+    ("filter", "mutual_information"): 0.5,
+}
+
+_KIND_ALIASES = {
+    "top_k": "top_k",
+    "topk": "top_k",
+    "top-k": "top_k",
+    "filter": "filter",
+    "filtering": "filter",
+}
+
+_SCORE_ALIASES = {
+    "entropy": "entropy",
+    "mi": "mutual_information",
+    "mutual_information": "mutual_information",
+    "mutual-information": "mutual_information",
+}
+
+#: CLI-style combined spellings (``repro query topk-entropy ...``).
+_COMBINED_KINDS = {
+    "topk-entropy": ("top_k", "entropy"),
+    "filter-entropy": ("filter", "entropy"),
+    "topk-mi": ("top_k", "mutual_information"),
+    "filter-mi": ("filter", "mutual_information"),
+}
+
+_SPEC_KEYS = frozenset(
+    {"kind", "score", "k", "threshold", "epsilon", "target", "attributes",
+     "prune", "name"}
+)
+
+QueryResult = Union[TopKResult, FilterResult]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One SWOPE query, declaratively.
+
+    Structural consistency is checked at construction time
+    (:class:`~repro.exceptions.PlanError`): a ``top_k`` spec needs ``k``
+    and must not carry a ``threshold`` (and vice versa for ``filter``),
+    a ``mutual_information`` spec needs a ``target`` which an entropy
+    spec must not have. Domain checks (``k >= 1``, ``ε`` in ``(0, 1)``,
+    thresholds) stay with the engine validators — except in
+    :func:`plan_queries`, which fail-fasts them for the whole batch.
+
+    Attributes
+    ----------
+    kind:
+        ``"top_k"`` or ``"filter"``.
+    score:
+        ``"entropy"`` or ``"mutual_information"``.
+    k:
+        Top-k answer size (``top_k`` specs only).
+    threshold:
+        Filter threshold ``η`` in bits (``filter`` specs only).
+    epsilon:
+        Error parameter; ``None`` means the paper default for this
+        query shape (:data:`PAPER_EPSILON`).
+    target:
+        MI target attribute (``mutual_information`` specs only).
+    attributes:
+        Candidate attributes; ``None`` means all attributes of the
+        store (minus the target for MI specs).
+    prune:
+        Apply top-k candidate pruning (ignored by ``filter`` specs).
+    name:
+        Optional label; the planner assigns ``q{index}`` when unset.
+    """
+
+    kind: str
+    score: str
+    k: int | None = None
+    threshold: float | None = None
+    epsilon: float | None = None
+    target: str | None = None
+    attributes: tuple[str, ...] | None = None
+    prune: bool = True
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_KINDS:
+            raise PlanError(
+                f"unknown query kind {self.kind!r}; expected one of {QUERY_KINDS}"
+            )
+        if self.score not in QUERY_SCORES:
+            raise PlanError(
+                f"unknown query score {self.score!r};"
+                f" expected one of {QUERY_SCORES}"
+            )
+        if self.kind == "top_k":
+            if self.k is None:
+                raise PlanError("a top_k spec needs k")
+            if self.threshold is not None:
+                raise PlanError(
+                    f"a top_k spec cannot carry a threshold"
+                    f" (got threshold={self.threshold!r})"
+                )
+        else:
+            if self.threshold is None:
+                raise PlanError("a filter spec needs a threshold")
+            if self.k is not None:
+                raise PlanError(f"a filter spec cannot carry k (got k={self.k!r})")
+        if self.score == "mutual_information":
+            if self.target is None:
+                raise PlanError(
+                    "a mutual_information spec needs a target attribute"
+                )
+        elif self.target is not None:
+            raise PlanError(
+                f"an entropy spec cannot carry a target attribute"
+                f" (got target={self.target!r})"
+            )
+        if self.attributes is not None and not isinstance(self.attributes, tuple):
+            object.__setattr__(self, "attributes", tuple(self.attributes))
+
+    def describe(self) -> str:
+        """One-line human rendering (CLI batch output)."""
+        parts = [self.kind, self.score]
+        if self.k is not None:
+            parts.append(f"k={self.k}")
+        if self.threshold is not None:
+            parts.append(f"eta={self.threshold:g}")
+        if self.epsilon is not None:
+            parts.append(f"epsilon={self.epsilon:g}")
+        if self.target is not None:
+            parts.append(f"target={self.target}")
+        return " ".join(parts)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "QuerySpec":
+        """Build a spec from a JSON-shaped mapping (plan-file entries).
+
+        Accepts the CLI's combined kind spellings (``"topk-entropy"``,
+        ``"filter-mi"``, ...) as well as split ``kind`` + ``score`` keys
+        with common aliases (``"topk"``, ``"mi"``). Unknown keys,
+        unknown spellings, and wrongly typed values raise
+        :class:`~repro.exceptions.PlanError`.
+        """
+        unknown = sorted(set(payload) - _SPEC_KEYS)
+        if unknown:
+            raise PlanError(f"unknown query-spec keys: {unknown}")
+        raw_kind = payload.get("kind")
+        if not isinstance(raw_kind, str):
+            raise PlanError(f"a query spec needs a string 'kind', got {raw_kind!r}")
+        raw_score = payload.get("score")
+        kind_key = raw_kind.strip().lower()
+        if kind_key in _COMBINED_KINDS:
+            kind, score = _COMBINED_KINDS[kind_key]
+            if raw_score is not None:
+                spelled = _SCORE_ALIASES.get(str(raw_score).strip().lower())
+                if spelled != score:
+                    raise PlanError(
+                        f"kind {raw_kind!r} already implies score {score!r},"
+                        f" got score={raw_score!r}"
+                    )
+        else:
+            if kind_key not in _KIND_ALIASES:
+                raise PlanError(
+                    f"unknown query kind {raw_kind!r}; expected one of"
+                    f" {sorted(_KIND_ALIASES)} or a combined spelling"
+                    f" like {sorted(_COMBINED_KINDS)}"
+                )
+            kind = _KIND_ALIASES[kind_key]
+            if raw_score is None:
+                raise PlanError(
+                    f"query kind {raw_kind!r} needs a 'score' key"
+                    f" ({' or '.join(QUERY_SCORES)})"
+                )
+            score_key = str(raw_score).strip().lower()
+            if score_key not in _SCORE_ALIASES:
+                raise PlanError(
+                    f"unknown query score {raw_score!r}; expected one of"
+                    f" {sorted(_SCORE_ALIASES)}"
+                )
+            score = _SCORE_ALIASES[score_key]
+        k = payload.get("k")
+        if k is not None and (isinstance(k, bool) or not isinstance(k, int)):
+            raise PlanError(f"'k' must be an integer, got {k!r}")
+        threshold = payload.get("threshold")
+        if threshold is not None and not isinstance(threshold, (int, float)):
+            raise PlanError(f"'threshold' must be a number, got {threshold!r}")
+        epsilon = payload.get("epsilon")
+        if epsilon is not None and not isinstance(epsilon, (int, float)):
+            raise PlanError(f"'epsilon' must be a number, got {epsilon!r}")
+        target = payload.get("target")
+        if target is not None and not isinstance(target, str):
+            raise PlanError(f"'target' must be a string, got {target!r}")
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise PlanError(f"'name' must be a string, got {name!r}")
+        prune = payload.get("prune", True)
+        if not isinstance(prune, bool):
+            raise PlanError(f"'prune' must be a boolean, got {prune!r}")
+        attributes = payload.get("attributes")
+        resolved_attributes: tuple[str, ...] | None = None
+        if attributes is not None:
+            if isinstance(attributes, str) or not isinstance(attributes, Sequence):
+                raise PlanError(
+                    f"'attributes' must be a list of names, got {attributes!r}"
+                )
+            if not all(isinstance(a, str) for a in attributes):
+                raise PlanError(
+                    f"'attributes' must be a list of names, got {attributes!r}"
+                )
+            resolved_attributes = tuple(attributes)
+        return cls(
+            kind=kind,
+            score=score,
+            k=k,
+            threshold=None if threshold is None else float(threshold),
+            epsilon=None if epsilon is None else float(epsilon),
+            target=target,
+            attributes=resolved_attributes,
+            prune=prune,
+            name=name,
+        )
+
+
+def load_plan(source: str | Path) -> list[QuerySpec]:
+    """Parse a plan file (JSON) into a list of :class:`QuerySpec`.
+
+    Two shapes are accepted: a bare list of spec objects, or an object
+    with a ``"queries"`` list (room for future plan-level keys). The
+    file shape errors raise :class:`~repro.exceptions.DataFormatError`;
+    per-spec problems raise :class:`~repro.exceptions.PlanError`.
+    """
+    path = Path(source)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataFormatError(f"cannot read plan file {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{path} is not valid JSON: {exc}") from exc
+    entries: object
+    if isinstance(payload, Mapping):
+        if "queries" not in payload:
+            raise DataFormatError(
+                f"{path}: a plan object needs a 'queries' list"
+            )
+        entries = payload["queries"]
+    else:
+        entries = payload
+    if not isinstance(entries, list):
+        raise DataFormatError(
+            f"{path}: a plan must be a list of query specs"
+            " (or an object with a 'queries' list)"
+        )
+    specs: list[QuerySpec] = []
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, Mapping):
+            raise DataFormatError(f"{path}: queries[{index}] is not an object")
+        specs.append(QuerySpec.from_dict(entry))
+    return specs
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A validated, normalised batch of query specs plus its count needs.
+
+    ``specs`` carry resolved candidate lists, filled-in epsilons, and
+    unique names. ``marginal_attributes`` is the ordered union of every
+    marginal counter the plan touches; ``joint_targets`` groups the MI
+    specs' joint requirements as ``(target, candidates)`` pairs — the
+    executor fetches each group through the batched backend API exactly
+    once per schedule block.
+    """
+
+    specs: tuple[QuerySpec, ...]
+    marginal_attributes: tuple[str, ...]
+    joint_targets: tuple[tuple[str, tuple[str, ...]], ...]
+    population_size: int
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Query names in execution order (planner-assigned when unset)."""
+        return tuple(spec.name or "" for spec in self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self) -> Iterator[QuerySpec]:
+        return iter(self.specs)
+
+
+def _resolved_candidates(store: ColumnStore, spec: QuerySpec) -> list[str]:
+    """Resolve a spec's candidate list against ``store``.
+
+    Raises exactly the legacy entry-point errors (same types, same
+    messages) so the planner path and the four ``swope_*`` façades stay
+    behaviour-identical.
+    """
+    if spec.score == "mutual_information":
+        target = spec.target
+        if target is None:  # pragma: no cover - QuerySpec.__post_init__ guards
+            raise PlanError("a mutual_information spec needs a target attribute")
+        if target not in store:
+            raise SchemaError(f"unknown target attribute {target!r}")
+        if spec.attributes is None:
+            names = [a for a in store.attributes if a != target]
+        else:
+            names = list(spec.attributes)
+            unknown = [a for a in names if a not in store]
+            if unknown:
+                raise SchemaError(f"unknown attributes: {unknown}")
+            if target in names:
+                raise ParameterError(
+                    f"target attribute {target!r} cannot also be a candidate"
+                )
+        if not names:
+            raise ParameterError(
+                "MI top-k query needs at least one candidate attribute"
+                if spec.kind == "top_k"
+                else "MI filtering query needs at least one candidate attribute"
+            )
+        return names
+    names = (
+        list(spec.attributes)
+        if spec.attributes is not None
+        else list(store.attributes)
+    )
+    unknown = [a for a in names if a not in store]
+    if unknown:
+        raise SchemaError(f"unknown attributes: {unknown}")
+    return names
+
+
+def plan_queries(store: ColumnStore, specs: Sequence[QuerySpec]) -> QueryPlan:
+    """Validate, normalise, and dedup ``specs`` into a :class:`QueryPlan`.
+
+    Per spec: the candidate list is resolved against the store (unknown
+    attributes raise :class:`~repro.exceptions.SchemaError`), ``ε`` is
+    filled from :data:`PAPER_EPSILON` and range-checked, ``k`` is
+    range-checked, and the name defaults to ``q{index}``. Plan-level
+    structure raises :class:`~repro.exceptions.PlanError`: an empty spec
+    list, duplicate names, a spec repeating an earlier one (same
+    normalised body under a different name), a filter threshold that is
+    not finite and strictly positive (``η = 0`` admits every attribute —
+    a planned batch almost certainly misspelled it; the single-query
+    API still allows it), or an MI target listed among its own
+    candidates.
+    """
+    if not specs:
+        raise PlanError("a query plan needs at least one spec")
+    normalized: list[QuerySpec] = []
+    seen_names: set[str] = set()
+    seen_bodies: set[tuple[object, ...]] = set()
+    marginals: list[str] = []
+    marginal_seen: set[str] = set()
+    joints: dict[str, list[str]] = {}
+    for index, spec in enumerate(specs):
+        name = spec.name if spec.name is not None else f"q{index}"
+        if name in seen_names:
+            raise PlanError(f"duplicate query name {name!r} in plan")
+        seen_names.add(name)
+        if (
+            spec.score == "mutual_information"
+            and spec.attributes is not None
+            and spec.target in spec.attributes
+        ):
+            raise PlanError(
+                f"query {name!r}: target attribute {spec.target!r} cannot"
+                " also be a candidate"
+            )
+        candidates = tuple(_resolved_candidates(store, spec))
+        if spec.kind == "filter":
+            threshold = spec.threshold
+            if (
+                threshold is None
+                or not math.isfinite(threshold)
+                or threshold <= 0.0
+            ):
+                raise PlanError(
+                    f"query {name!r}: a planned filter threshold must be"
+                    f" finite and > 0, got {threshold!r}"
+                )
+        elif spec.k is not None:
+            validate_k(spec.k)
+        epsilon = (
+            spec.epsilon
+            if spec.epsilon is not None
+            else PAPER_EPSILON[(spec.kind, spec.score)]
+        )
+        validate_epsilon(epsilon)
+        resolved = replace(spec, attributes=candidates, epsilon=epsilon, name=name)
+        body: tuple[object, ...] = (
+            resolved.kind,
+            resolved.score,
+            resolved.k,
+            resolved.threshold,
+            resolved.epsilon,
+            resolved.target,
+            resolved.attributes,
+            resolved.prune,
+        )
+        if body in seen_bodies:
+            raise PlanError(
+                f"duplicate query spec in plan: {name!r} repeats an"
+                " earlier query"
+            )
+        seen_bodies.add(body)
+        normalized.append(resolved)
+        needed = (
+            [resolved.target, *candidates]
+            if resolved.target is not None
+            else list(candidates)
+        )
+        for attribute in needed:
+            if attribute not in marginal_seen:
+                marginal_seen.add(attribute)
+                marginals.append(attribute)
+        if resolved.target is not None:
+            bucket = joints.setdefault(resolved.target, [])
+            for attribute in candidates:
+                if attribute not in bucket:
+                    bucket.append(attribute)
+    return QueryPlan(
+        specs=tuple(normalized),
+        marginal_attributes=tuple(marginals),
+        joint_targets=tuple(
+            (target, tuple(names)) for target, names in joints.items()
+        ),
+        population_size=store.num_rows,
+    )
+
+
+def run_query_spec(
+    store: ColumnStore,
+    spec: QuerySpec,
+    *,
+    failure_probability: float | None = None,
+    seed: int | np.random.Generator | None = None,
+    schedule: SampleSchedule | None = None,
+    sampler: PrefixSampler | None = None,
+    backend: str | CountingBackend | None = None,
+    trace: TraceTarget | None = None,
+    budget: QueryBudget | None = None,
+    cancellation: CancellationToken | None = None,
+    strict: bool = False,
+    metrics: MetricsRegistry | None = None,
+) -> QueryResult:
+    """Run one spec through the adaptive engine.
+
+    This is the single dispatch point between the declarative layer and
+    :func:`~repro.core.engine.adaptive_top_k` /
+    :func:`~repro.core.engine.adaptive_filter` — the four ``swope_*``
+    entry points are single-spec wrappers over it, and analysis rule
+    SWP011 keeps any other caller from reaching around it. Validation
+    order, defaults, and error messages are exactly the legacy entry
+    points' (the bit-identity suite in ``tests/test_plan.py`` pins
+    this).
+    """
+    names = _resolved_candidates(store, spec)
+    if failure_probability is None:
+        failure_probability = default_failure_probability(store.num_rows)
+    if sampler is None:
+        sampler = PrefixSampler(store, seed=seed, backend=backend)
+    elif backend is not None:
+        raise ParameterError(
+            "pass either sampler= or backend=; a pre-built sampler already"
+            " owns its counting backend"
+        )
+    target = spec.target
+    mutual = spec.score == "mutual_information"
+    if schedule is None:
+        schedule_names = [target, *names] if mutual and target is not None else names
+        schedule = SampleSchedule.for_query(
+            store.num_rows,
+            len(names) + 1 if mutual else len(names),
+            failure_probability,
+            max(store.support_size(a) for a in schedule_names),
+        )
+    epsilon = (
+        spec.epsilon
+        if spec.epsilon is not None
+        else PAPER_EPSILON[(spec.kind, spec.score)]
+    )
+    provider: ScoreProvider
+    if mutual:
+        if target is None:  # pragma: no cover - QuerySpec.__post_init__ guards
+            raise PlanError("a mutual_information spec needs a target attribute")
+        per_bound = schedule.per_round_failure(
+            failure_probability, len(names), bounds_per_attribute=3
+        )
+        provider = MutualInformationScoreProvider(sampler, target, per_bound)
+    else:
+        per_bound = schedule.per_round_failure(failure_probability, len(names))
+        provider = EntropyScoreProvider(sampler, per_bound)
+    if spec.kind == "top_k":
+        if spec.k is None:  # pragma: no cover - QuerySpec.__post_init__ guards
+            raise PlanError("a top_k spec needs k")
+        return adaptive_top_k(
+            provider, sampler, names, spec.k, epsilon, schedule,
+            prune=spec.prune, target=target, trace=trace,
+            budget=budget, cancellation=cancellation, strict=strict,
+            metrics=metrics,
+        )
+    if spec.threshold is None:  # pragma: no cover - QuerySpec.__post_init__ guards
+        raise PlanError("a filter spec needs a threshold")
+    return adaptive_filter(
+        provider, sampler, names, spec.threshold, epsilon, schedule,
+        target=target, trace=trace,
+        budget=budget, cancellation=cancellation, strict=strict,
+        metrics=metrics,
+    )
+
+
+@dataclass
+class PlanStats:
+    """Accounting for one executed plan.
+
+    ``cells_scanned`` is the *incremental* shared-scan cost of this plan
+    over the executor's sampler (unlike per-query
+    :attr:`~repro.core.results.RunStats.cells_scanned`, which reports
+    the sampler's cumulative meter); ``per_query_cells`` breaks it down
+    by query, in retirement order.
+    """
+
+    queries: int
+    queries_completed: int
+    cells_scanned: int
+    per_query_cells: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    sample_floor: int = 0
+    population_size: int = 0
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Results of one executed plan, keyed by query name in plan order."""
+
+    results: dict[str, QueryResult]
+    stats: PlanStats
+
+    def __getitem__(self, name: str) -> QueryResult:
+        try:
+            return self.results[name]
+        except KeyError:
+            raise PlanError(
+                f"no query named {name!r} in this plan result;"
+                f" have {sorted(self.results)}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.results)
+
+
+_UNSET: Any = object()
+
+
+def _emit(sink: TraceSink | None, event: TraceEvent) -> None:
+    if sink is not None and sink.enabled:
+        sink.emit(event)
+
+
+def _plan_sink(trace: TraceTarget | None) -> TraceSink | None:
+    """The plan-event destination: sinks only (QueryTrace is per-query)."""
+    if isinstance(trace, TraceSink):
+        return trace
+    return None
+
+
+def _retired_event(
+    name: str, index: int, result: QueryResult, marginal_cells: int
+) -> QueryRetiredEvent:
+    guarantee = result.guarantee
+    return QueryRetiredEvent(
+        name=name,
+        index=index,
+        stopping_reason=(
+            guarantee.stopping_reason if guarantee is not None else "converged"
+        ),
+        guarantee_met=(
+            guarantee.guarantee_met if guarantee is not None else True
+        ),
+        final_sample_size=result.stats.final_sample_size,
+        marginal_cells=marginal_cells,
+        answer=tuple(result.attributes),
+    )
+
+
+def _remaining_budget(
+    budget: QueryBudget | None,
+    started: float,
+    cells_at_start: int,
+    sampler: PrefixSampler,
+) -> QueryBudget | None:
+    """The plan-wide budget minus what earlier queries already consumed.
+
+    The residual deadline and cell allowance are clamped to tiny positive
+    values rather than zero: a query handed an exhausted budget still
+    runs exactly one iteration and returns a degraded answer with an
+    honest :class:`~repro.core.results.GuaranteeStatus` — the engine's
+    anytime contract, applied per query across the batch.
+    """
+    if budget is None:
+        return None
+    deadline_ms = budget.deadline_ms
+    if deadline_ms is not None:
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        deadline_ms = max(deadline_ms - elapsed_ms, 1e-6)
+    max_cells = budget.max_cells
+    if max_cells is not None:
+        max_cells = max(max_cells - (sampler.cells_scanned - cells_at_start), 1)
+    return QueryBudget(
+        deadline_ms=deadline_ms,
+        max_cells=max_cells,
+        max_sample_size=budget.max_sample_size,
+    )
+
+
+class PlanExecutor:
+    """Execute query plans over one shared, counter-retaining sampler.
+
+    The executor owns a :class:`~repro.data.sampling.PrefixSampler` in
+    ``retain=True`` mode: every marginal and joint counter any query
+    grows stays alive, so each count a plan needs is fetched from the
+    store exactly once — later queries of the batch (and later plans on
+    the same executor) reuse it for free. The starting sample size
+    ratchets to the largest ``M`` any query has reached, exactly as in
+    :class:`~repro.core.session.QuerySession` (which is now a façade
+    over this class).
+
+    Parameters
+    ----------
+    store:
+        The dataset to query.
+    seed:
+        Seed for the single shuffle all queries share.
+    sequential:
+        Read physical row order instead of shuffling (only valid when
+        the physical order is already exchangeable).
+    failure_probability:
+        ``p_f`` used by every query (default: the paper's ``1/N``).
+        Per-query failure budgets stay per-query — each query's bound
+        evaluations are union-bounded within that query alone.
+    budget:
+        Default plan-wide :class:`~repro.core.budget.QueryBudget`;
+        ``execute``/``execute_one`` can override it per call.
+    backend:
+        Counting backend of the shared sampler (name, instance, or
+        ``None`` to honour ``REPRO_BACKEND``).
+    trace:
+        Default :class:`~repro.obs.sinks.TraceSink` receiving both the
+        plan-level events and every query's event stream.
+    metrics:
+        Default :class:`~repro.obs.metrics.MetricsRegistry` fed by
+        :func:`~repro.obs.metrics.record_plan` per plan and
+        :func:`~repro.obs.metrics.record_query` per query.
+    """
+
+    def __init__(
+        self,
+        store: ColumnStore,
+        *,
+        seed: int | np.random.Generator | None = None,
+        sequential: bool = False,
+        failure_probability: float | None = None,
+        budget: QueryBudget | None = None,
+        backend: str | CountingBackend | None = None,
+        trace: TraceSink | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._store = store
+        self._sampler = PrefixSampler(
+            store, seed=seed, sequential=sequential, retain=True, backend=backend
+        )
+        self._failure = (
+            failure_probability
+            if failure_probability is not None
+            else default_failure_probability(store.num_rows)
+        )
+        self._budget = budget
+        self._trace = trace
+        self._metrics = metrics
+        self._floor = 0  # largest M any query has reached so far
+        self._queries_run = 0
+        self._last_cells = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ColumnStore:
+        """The wrapped dataset."""
+        return self._store
+
+    @property
+    def sampler(self) -> PrefixSampler:
+        """The shared counter-retaining sampler (shared-cost accounting)."""
+        return self._sampler
+
+    @property
+    def cells_scanned(self) -> int:
+        """Cumulative unique cells read across all queries so far."""
+        return self._sampler.cells_scanned
+
+    @property
+    def queries_run(self) -> int:
+        """Number of queries answered by this executor."""
+        return self._queries_run
+
+    @property
+    def sample_floor(self) -> int:
+        """The ratcheted starting sample size for the next query."""
+        return self._floor
+
+    def marginal_cells(self) -> int:
+        """Cells added by the most recent query (0 before any query)."""
+        return self._last_cells
+
+    @property
+    def default_budget(self) -> QueryBudget | None:
+        """The executor-wide budget applied when a call passes none."""
+        return self._budget
+
+    @property
+    def default_trace(self) -> TraceSink | None:
+        """The executor-wide trace sink applied when a call passes none."""
+        return self._trace
+
+    @property
+    def default_metrics(self) -> MetricsRegistry | None:
+        """The executor-wide metrics registry applied when a call passes none."""
+        return self._metrics
+
+    # ------------------------------------------------------------------
+    def _schedule_for(self, spec: QuerySpec) -> SampleSchedule:
+        """A paper schedule whose start is ratcheted to the shared floor."""
+        names = _resolved_candidates(self._store, spec)
+        if spec.score == "mutual_information" and spec.target is not None:
+            all_names = [spec.target, *names]
+            num_attributes = len(names) + 1
+        else:
+            all_names = names
+            num_attributes = len(names)
+        max_support = max(self._store.support_size(a) for a in all_names)
+        m0 = initial_sample_size(
+            self._store.num_rows, num_attributes, self._failure, max_support
+        )
+        start = min(self._store.num_rows, max(m0, self._floor))
+        return SampleSchedule.for_query(
+            self._store.num_rows,
+            num_attributes,
+            self._failure,
+            max_support,
+            initial_size=start,
+        )
+
+    def execute_one(
+        self,
+        spec: QuerySpec,
+        *,
+        schedule: SampleSchedule | None = None,
+        budget: QueryBudget | None = _UNSET,
+        cancellation: CancellationToken | None = None,
+        strict: bool = False,
+        trace: TraceTarget | None = _UNSET,
+        metrics: MetricsRegistry | None = _UNSET,
+        backend: str | CountingBackend | None = None,
+    ) -> QueryResult:
+        """Run one spec over the shared sampler, ratcheting the floor.
+
+        ``budget``/``trace``/``metrics`` default to the executor-wide
+        settings; pass ``None`` explicitly to lift/silence them for one
+        query. A ``backend=`` here is always an error — the shared
+        sampler already owns its backend.
+        """
+        if backend is not None:
+            raise ParameterError(
+                "pass either sampler= or backend=; a pre-built sampler already"
+                " owns its counting backend"
+            )
+        if budget is _UNSET:
+            budget = self._budget
+        if trace is _UNSET:
+            trace = self._trace
+        if metrics is _UNSET:
+            metrics = self._metrics
+        if schedule is None:
+            schedule = self._schedule_for(spec)
+        before = self._sampler.cells_scanned
+        try:
+            result = run_query_spec(
+                self._store,
+                spec,
+                failure_probability=self._failure,
+                sampler=self._sampler,
+                schedule=schedule,
+                trace=trace,
+                budget=budget,
+                cancellation=cancellation,
+                strict=strict,
+                metrics=metrics,
+            )
+        except QueryInterruptedError as exc:
+            # Strict-mode truncation: the shared prefix counters have
+            # already grown, so the floor must ratchet to the partial
+            # result's sample size or a later query would ask the
+            # sampler to shrink a prefix.
+            partial = exc.partial
+            if isinstance(partial, (TopKResult, FilterResult)):
+                self._floor = max(self._floor, partial.stats.final_sample_size)
+            self._last_cells = self._sampler.cells_scanned - before
+            raise
+        self._queries_run += 1
+        self._last_cells = self._sampler.cells_scanned - before
+        self._floor = max(self._floor, result.stats.final_sample_size)
+        return result
+
+    def execute(
+        self,
+        plan: QueryPlan,
+        *,
+        budget: QueryBudget | None = _UNSET,
+        cancellation: CancellationToken | None = None,
+        strict: bool = False,
+        trace: TraceSink | None = _UNSET,
+        metrics: MetricsRegistry | None = _UNSET,
+    ) -> PlanResult:
+        """Execute every query of ``plan`` over the shared sampler.
+
+        Queries run in plan order, each joining the scan at the ratchet
+        frontier; ``budget`` applies *plan-wide* — each query receives
+        the residual (remaining deadline, remaining cell allowance) and
+        degrades individually with its own
+        :class:`~repro.core.results.GuaranteeStatus` when the residual
+        runs out (every query still completes at least one iteration).
+        In strict mode the first truncation raises, after the
+        ``query_retired`` (from the partial result) and ``plan_end``
+        events and the plan metrics have been recorded.
+        """
+        if budget is _UNSET:
+            budget = self._budget
+        if trace is _UNSET:
+            trace = self._trace
+        if metrics is _UNSET:
+            metrics = self._metrics
+        sink = _plan_sink(trace)
+        started = time.perf_counter()
+        cells_at_start = self._sampler.cells_scanned
+        results: dict[str, QueryResult] = {}
+        per_query_cells: dict[str, int] = {}
+        completed = 0
+        _emit(
+            sink,
+            PlanStartEvent(
+                num_queries=len(plan.specs),
+                queries=plan.names,
+                population_size=plan.population_size,
+                marginal_attributes=plan.marginal_attributes,
+                joint_targets=plan.joint_targets,
+            ),
+        )
+        try:
+            for index, spec in enumerate(plan.specs):
+                name = spec.name if spec.name is not None else f"q{index}"
+                sub_budget = _remaining_budget(
+                    budget, started, cells_at_start, self._sampler
+                )
+                try:
+                    result = self.execute_one(
+                        spec,
+                        budget=sub_budget,
+                        cancellation=cancellation,
+                        strict=strict,
+                        trace=trace,
+                        metrics=metrics,
+                    )
+                except QueryInterruptedError as exc:
+                    partial = exc.partial
+                    if isinstance(partial, (TopKResult, FilterResult)):
+                        per_query_cells[name] = self._last_cells
+                        _emit(
+                            sink,
+                            _retired_event(name, index, partial, self._last_cells),
+                        )
+                    raise
+                results[name] = result
+                per_query_cells[name] = self._last_cells
+                completed += 1
+                _emit(sink, _retired_event(name, index, result, self._last_cells))
+        finally:
+            stats = PlanStats(
+                queries=len(plan.specs),
+                queries_completed=completed,
+                cells_scanned=self._sampler.cells_scanned - cells_at_start,
+                per_query_cells=per_query_cells,
+                wall_seconds=time.perf_counter() - started,
+                sample_floor=self._floor,
+                population_size=plan.population_size,
+            )
+            _emit(
+                sink,
+                PlanEndEvent(
+                    queries_completed=completed,
+                    total_queries=len(plan.specs),
+                    cells_scanned=stats.cells_scanned,
+                    sample_floor=self._floor,
+                ),
+            )
+            if metrics is not None:
+                record_plan(metrics, stats=stats)
+        return PlanResult(results=results, stats=stats)

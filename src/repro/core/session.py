@@ -12,18 +12,24 @@ and exposes the four SWOPE queries over them:
 >>> session.filter_entropy(2.0)                    # reuses those counts
 >>> session.filter_entropy(1.0)                    # marginal cost ~ 0
 
-Two mechanisms make this work:
+Since the planner landed, the session is a thin façade over
+:class:`~repro.core.plan.PlanExecutor`: each query method builds a
+declarative :class:`~repro.core.plan.QuerySpec` and hands it to the
+executor, which owns the shared sampler and the two mechanisms that make
+reuse work:
 
 * the shared sampler keeps every counter alive (``retain=True``), so a
   later query's request for the same prefix costs nothing;
-* the session *ratchets* the starting sample size: each query's schedule
-  begins at the largest ``M`` any earlier query reached (prefix counters
-  can only grow). Starting a query at a larger-than-``M0`` sample is
-  statistically harmless — the Lemma 3 interval at a larger ``M`` is
-  simply tighter, and the per-round failure budget is computed from the
-  (shorter) actual schedule.
+* the executor *ratchets* the starting sample size: each query's
+  schedule begins at the largest ``M`` any earlier query reached (prefix
+  counters can only grow). Starting a query at a larger-than-``M0``
+  sample is statistically harmless — the Lemma 3 interval at a larger
+  ``M`` is simply tighter, and the per-round failure budget is computed
+  from the (shorter) actual schedule.
 
-``marginal_cells()`` exposes the incremental cost of the latest query.
+``marginal_cells()`` exposes the incremental cost of the latest query,
+and :meth:`QuerySession.run_plan` executes a whole heterogeneous batch
+over the session's sampler in one shared scan.
 
 Statistical note: every query individually retains its Definition 5/6
 guarantee — each is analysed against the (single) random shuffle, and the
@@ -35,28 +41,25 @@ queries, give each its own seeded session.
 
 from __future__ import annotations
 
-from typing import Any, Callable, TypeVar
+from typing import Any, Sequence, cast
 
 import numpy as np
 
 from repro.core.budget import QueryBudget
-from repro.core.engine import default_failure_probability
-from repro.core.filtering import swope_filter_entropy
-from repro.exceptions import QueryInterruptedError
-from repro.core.mi_filtering import swope_filter_mutual_information
-from repro.core.mi_topk import swope_top_k_mutual_information
+from repro.core.plan import (
+    PlanExecutor,
+    PlanResult,
+    QueryPlan,
+    QuerySpec,
+    plan_queries,
+)
 from repro.core.results import FilterResult, TopKResult
-from repro.core.schedule import SampleSchedule, initial_sample_size
-from repro.core.topk import swope_top_k_entropy
 from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
-from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import TraceSink
 
 __all__ = ["QuerySession"]
-
-_ResultT = TypeVar("_ResultT", TopKResult, FilterResult)
 
 
 class QuerySession:
@@ -111,20 +114,16 @@ class QuerySession:
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self._store = store
-        self._sampler = PrefixSampler(
-            store, seed=seed, sequential=sequential, retain=True, backend=backend
+        self._executor = PlanExecutor(
+            store,
+            seed=seed,
+            sequential=sequential,
+            failure_probability=failure_probability,
+            budget=budget,
+            backend=backend,
+            trace=trace,
+            metrics=metrics,
         )
-        self._failure = (
-            failure_probability
-            if failure_probability is not None
-            else default_failure_probability(store.num_rows)
-        )
-        self._budget = budget
-        self._trace = trace
-        self._metrics = metrics
-        self._floor = 0  # largest M any query has reached so far
-        self._queries_run = 0
-        self._last_cells = 0
 
     # ------------------------------------------------------------------
     @property
@@ -133,78 +132,62 @@ class QuerySession:
         return self._store
 
     @property
+    def executor(self) -> PlanExecutor:
+        """The shared-scan executor every query of the session runs on."""
+        return self._executor
+
+    @property
     def cells_scanned(self) -> int:
         """Cumulative unique cells read across all queries so far."""
-        return self._sampler.cells_scanned
+        return self._executor.cells_scanned
 
     @property
     def queries_run(self) -> int:
         """Number of queries answered by this session."""
-        return self._queries_run
+        return self._executor.queries_run
 
     @property
     def sample_floor(self) -> int:
         """The ratcheted starting sample size for the next query."""
-        return self._floor
+        return self._executor.sample_floor
 
     def marginal_cells(self) -> int:
         """Cells added by the most recent query (0 before any query)."""
-        return self._last_cells
+        return self._executor.marginal_cells()
 
     @property
     def default_budget(self) -> QueryBudget | None:
         """The session-wide budget applied when a query passes none."""
-        return self._budget
+        return self._executor.default_budget
 
     @property
     def default_trace(self) -> TraceSink | None:
         """The session-wide trace sink applied when a query passes none."""
-        return self._trace
+        return self._executor.default_trace
 
     @property
     def default_metrics(self) -> MetricsRegistry | None:
         """The session-wide metrics registry applied when a query passes none."""
-        return self._metrics
+        return self._executor.default_metrics
 
     # ------------------------------------------------------------------
-    def _schedule(self, num_attributes: int, max_support: int) -> SampleSchedule:
-        """A paper schedule whose start is ratcheted to the session floor."""
-        m0 = initial_sample_size(
-            self._store.num_rows, num_attributes, self._failure, max_support
-        )
-        start = min(self._store.num_rows, max(m0, self._floor))
-        return SampleSchedule.for_query(
-            self._store.num_rows,
-            num_attributes,
-            self._failure,
-            max_support,
-            initial_size=start,
-        )
+    def run_plan(
+        self, specs: Sequence[QuerySpec] | QueryPlan, **kwargs: Any
+    ) -> PlanResult:
+        """Execute a whole batch over the session's sampler in one scan.
 
-    def _run(
-        self,
-        runner: Callable[[SampleSchedule], _ResultT],
-        names: list[str],
-    ) -> _ResultT:
-        schedule = self._schedule(
-            len(names), max(self._store.support_size(a) for a in names)
+        Accepts raw :class:`~repro.core.plan.QuerySpec` objects (planned
+        against the session's store via
+        :func:`~repro.core.plan.plan_queries`) or a pre-built
+        :class:`~repro.core.plan.QueryPlan`. Keywords as in
+        :meth:`repro.core.plan.PlanExecutor.execute`.
+        """
+        plan = (
+            specs
+            if isinstance(specs, QueryPlan)
+            else plan_queries(self._store, list(specs))
         )
-        before = self._sampler.cells_scanned
-        try:
-            result = runner(schedule)
-        except QueryInterruptedError as exc:
-            # Strict-mode truncation: the shared prefix counters have
-            # already grown, so the floor must ratchet to the partial
-            # result's sample size or a later query would ask the
-            # sampler to shrink a prefix.
-            if exc.partial is not None:
-                self._floor = max(self._floor, exc.partial.stats.final_sample_size)
-            self._last_cells = self._sampler.cells_scanned - before
-            raise
-        self._queries_run += 1
-        self._last_cells = self._sampler.cells_scanned - before
-        self._floor = max(self._floor, result.stats.final_sample_size)
-        return result
+        return self._executor.execute(plan, **kwargs)
 
     # ------------------------------------------------------------------
     def top_k_entropy(self, k: int, **kwargs: Any) -> TopKResult:
@@ -213,31 +196,27 @@ class QuerySession:
         schedule/failure_probability, which the session owns). Pruning is
         off by default — pruning would release shared counters."""
         names = kwargs.pop("attributes", None) or list(self._store.attributes)
-        kwargs.setdefault("prune", False)
-        kwargs.setdefault("budget", self._budget)
-        kwargs.setdefault("trace", self._trace)
-        kwargs.setdefault("metrics", self._metrics)
-        return self._run(
-            lambda schedule: swope_top_k_entropy(
-                self._store, k, attributes=names, sampler=self._sampler,
-                schedule=schedule, failure_probability=self._failure, **kwargs,
-            ),
-            names,
+        spec = QuerySpec(
+            kind="top_k",
+            score="entropy",
+            k=k,
+            epsilon=kwargs.pop("epsilon", None),
+            attributes=tuple(names),
+            prune=kwargs.pop("prune", False),
         )
+        return cast(TopKResult, self._executor.execute_one(spec, **kwargs))
 
     def filter_entropy(self, threshold: float, **kwargs: Any) -> FilterResult:
         """Algorithm 2 over the shared sampler."""
         names = kwargs.pop("attributes", None) or list(self._store.attributes)
-        kwargs.setdefault("budget", self._budget)
-        kwargs.setdefault("trace", self._trace)
-        kwargs.setdefault("metrics", self._metrics)
-        return self._run(
-            lambda schedule: swope_filter_entropy(
-                self._store, threshold, attributes=names, sampler=self._sampler,
-                schedule=schedule, failure_probability=self._failure, **kwargs,
-            ),
-            names,
+        spec = QuerySpec(
+            kind="filter",
+            score="entropy",
+            threshold=threshold,
+            epsilon=kwargs.pop("epsilon", None),
+            attributes=tuple(names),
         )
+        return cast(FilterResult, self._executor.execute_one(spec, **kwargs))
 
     def top_k_mutual_information(
         self, target: str, k: int, **kwargs: Any
@@ -246,17 +225,16 @@ class QuerySession:
         names = kwargs.pop("candidates", None) or [
             a for a in self._store.attributes if a != target
         ]
-        kwargs.setdefault("prune", False)
-        kwargs.setdefault("budget", self._budget)
-        kwargs.setdefault("trace", self._trace)
-        kwargs.setdefault("metrics", self._metrics)
-        return self._run(
-            lambda schedule: swope_top_k_mutual_information(
-                self._store, target, k, candidates=names, sampler=self._sampler,
-                schedule=schedule, failure_probability=self._failure, **kwargs,
-            ),
-            [target, *names],
+        spec = QuerySpec(
+            kind="top_k",
+            score="mutual_information",
+            k=k,
+            epsilon=kwargs.pop("epsilon", None),
+            target=target,
+            attributes=tuple(names),
+            prune=kwargs.pop("prune", False),
         )
+        return cast(TopKResult, self._executor.execute_one(spec, **kwargs))
 
     def filter_mutual_information(
         self, target: str, threshold: float, **kwargs: Any
@@ -265,14 +243,12 @@ class QuerySession:
         names = kwargs.pop("candidates", None) or [
             a for a in self._store.attributes if a != target
         ]
-        kwargs.setdefault("budget", self._budget)
-        kwargs.setdefault("trace", self._trace)
-        kwargs.setdefault("metrics", self._metrics)
-        return self._run(
-            lambda schedule: swope_filter_mutual_information(
-                self._store, target, threshold, candidates=names,
-                sampler=self._sampler, schedule=schedule,
-                failure_probability=self._failure, **kwargs,
-            ),
-            [target, *names],
+        spec = QuerySpec(
+            kind="filter",
+            score="mutual_information",
+            threshold=threshold,
+            epsilon=kwargs.pop("epsilon", None),
+            target=target,
+            attributes=tuple(names),
         )
+        return cast(FilterResult, self._executor.execute_one(spec, **kwargs))

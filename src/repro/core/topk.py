@@ -18,21 +18,18 @@ EntropyRank baseline.
 
 from __future__ import annotations
 
+from typing import cast
+
 import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
-from repro.core.engine import (
-    EntropyScoreProvider,
-    TraceTarget,
-    adaptive_top_k,
-    default_failure_probability,
-)
+from repro.core.engine import TraceTarget
+from repro.core.plan import QuerySpec, run_query_spec
 from repro.core.results import TopKResult
 from repro.core.schedule import SampleSchedule
 from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
-from repro.exceptions import ParameterError, SchemaError
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["swope_top_k_entropy"]
@@ -115,29 +112,21 @@ def swope_top_k_entropy(
         with per-attribute estimates, run statistics, and the
         :class:`~repro.core.results.GuaranteeStatus` of the run.
     """
-    names = list(attributes) if attributes is not None else list(store.attributes)
-    unknown = [a for a in names if a not in store]
-    if unknown:
-        raise SchemaError(f"unknown attributes: {unknown}")
-    if failure_probability is None:
-        failure_probability = default_failure_probability(store.num_rows)
-    if sampler is None:
-        sampler = PrefixSampler(store, seed=seed, backend=backend)
-    elif backend is not None:
-        raise ParameterError(
-            "pass either sampler= or backend=; a pre-built sampler already"
-            " owns its counting backend"
-        )
-    if schedule is None:
-        schedule = SampleSchedule.for_query(
-            store.num_rows,
-            len(names),
-            failure_probability,
-            max(store.support_size(a) for a in names),
-        )
-    per_bound = schedule.per_round_failure(failure_probability, len(names))
-    provider = EntropyScoreProvider(sampler, per_bound)
-    return adaptive_top_k(
-        provider, sampler, names, k, epsilon, schedule, prune=prune, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict, metrics=metrics,
+    spec = QuerySpec(
+        kind="top_k",
+        score="entropy",
+        k=k,
+        epsilon=epsilon,
+        attributes=tuple(attributes) if attributes is not None else None,
+        prune=prune,
+    )
+    return cast(
+        TopKResult,
+        run_query_spec(
+            store, spec,
+            failure_probability=failure_probability, seed=seed,
+            schedule=schedule, sampler=sampler, backend=backend,
+            trace=trace, budget=budget, cancellation=cancellation,
+            strict=strict, metrics=metrics,
+        ),
     )

@@ -136,6 +136,21 @@ class PrefixSampler:
         """
         return self._cells_scanned
 
+    @property
+    def counted_attributes(self) -> tuple[str, ...]:
+        """Attributes holding a live marginal counter, sorted by name.
+
+        Shared-cost introspection for the plan executor and the CLI's
+        batch accounting: retained counters are exactly the counts later
+        queries get for free.
+        """
+        return tuple(sorted(self._marginals))
+
+    def counted_prefix(self, name: str) -> int:
+        """Rows counted so far for ``name``'s marginal (0 if never counted)."""
+        entry = self._marginals.get(name)
+        return entry[0] if entry is not None else 0
+
     def shuffled_prefix(self, num_rows: int) -> np.ndarray:
         """Return the row indices making up the first ``num_rows`` samples."""
         self._check_prefix(num_rows)

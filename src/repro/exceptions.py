@@ -36,6 +36,20 @@ class DataFormatError(ReproError):
     """An input file (CSV or cached ``.npz``) could not be parsed."""
 
 
+class PlanError(ParameterError):
+    """A query plan's specs are structurally invalid.
+
+    Raised by :func:`repro.core.plan.plan_queries` (and by
+    :class:`~repro.core.plan.QuerySpec` construction) for plan-level
+    problems caught *before* any sampling happens: duplicate specs or
+    names, conflicting spec fields (a top-k spec carrying a threshold),
+    a filter threshold that is not strictly positive, or an MI spec
+    whose target is also a candidate. Derives from
+    :class:`ParameterError` so callers written against the single-query
+    API can keep catching one type.
+    """
+
+
 class ResultConsistencyError(ReproError, ValueError):
     """A result object was constructed with inconsistent fields.
 

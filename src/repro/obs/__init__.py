@@ -4,7 +4,9 @@ Three layers (see ``docs/OBSERVABILITY.md``):
 
 * :mod:`repro.obs.events` — the deterministic, schema-versioned trace
   events the adaptive loops emit (``query_start``, ``iteration``,
-  ``prune``, ``budget_degradation``, ``query_end``);
+  ``prune``, ``budget_degradation``, ``query_end``) plus the
+  plan-level events the shared-scan executor adds (``plan_start``,
+  ``query_retired``, ``plan_end``);
 * :mod:`repro.obs.sinks` — where the event stream goes
   (:class:`NullSink` disabled default, :class:`InMemorySink`,
   :class:`JsonlSink` with byte-stable serialisation);
@@ -23,11 +25,15 @@ Usage::
 """
 
 from repro.obs.events import (
+    EVENT_KINDS,
     TRACE_SCHEMA_VERSION,
     BudgetDegradationEvent,
     IterationEvent,
+    PlanEndEvent,
+    PlanStartEvent,
     PruneEvent,
     QueryEndEvent,
+    QueryRetiredEvent,
     QueryStartEvent,
     TraceEvent,
     header_record,
@@ -39,6 +45,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     global_registry,
+    record_plan,
     record_query,
     reset_global_registry,
 )
@@ -51,6 +58,7 @@ from repro.obs.sinks import (
 )
 
 __all__ = [
+    "EVENT_KINDS",
     "TRACE_SCHEMA_VERSION",
     "BudgetDegradationEvent",
     "Counter",
@@ -62,13 +70,17 @@ __all__ = [
     "JsonlSink",
     "MetricsRegistry",
     "NullSink",
+    "PlanEndEvent",
+    "PlanStartEvent",
     "PruneEvent",
     "QueryEndEvent",
+    "QueryRetiredEvent",
     "QueryStartEvent",
     "TraceEvent",
     "TraceSink",
     "global_registry",
     "header_record",
+    "record_plan",
     "record_query",
     "reset_global_registry",
     "serialize_event",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import ClassVar
 
 __all__ = [
+    "EVENT_KINDS",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "QueryStartEvent",
@@ -31,12 +32,30 @@ __all__ = [
     "PruneEvent",
     "BudgetDegradationEvent",
     "QueryEndEvent",
+    "PlanStartEvent",
+    "QueryRetiredEvent",
+    "PlanEndEvent",
     "header_record",
 ]
 
 #: Version of the trace wire schema. Bump on any event-shape change and
 #: regenerate the golden traces in the same commit.
-TRACE_SCHEMA_VERSION = 1
+#: v2: plan-level events (``plan_start``/``query_retired``/``plan_end``)
+#: emitted by :class:`repro.core.plan.PlanExecutor`.
+TRACE_SCHEMA_VERSION = 2
+
+#: Every ``event`` discriminator the schema admits (header excluded).
+#: ``scripts/check_trace_schema.py`` validates golden traces against it.
+EVENT_KINDS = (
+    "query_start",
+    "iteration",
+    "prune",
+    "budget_degradation",
+    "query_end",
+    "plan_start",
+    "query_retired",
+    "plan_end",
+)
 
 
 def header_record() -> dict[str, object]:
@@ -155,6 +174,62 @@ class BudgetDegradationEvent(TraceEvent):
 
     sample_size: int
     reason: str
+
+
+@dataclass(frozen=True)
+class PlanStartEvent(TraceEvent):
+    """Emitted once by :class:`~repro.core.plan.PlanExecutor.execute`.
+
+    Describes the whole batch before the first query runs: query names
+    in execution order, the ordered union of marginal counters the plan
+    will touch, and every ``(target, candidates)`` joint group MI specs
+    require. Deterministic, like every trace event: no wall-clock.
+    """
+
+    event: ClassVar[str] = "plan_start"
+
+    num_queries: int
+    queries: tuple[str, ...]
+    population_size: int
+    marginal_attributes: tuple[str, ...] = ()
+    joint_targets: tuple[tuple[str, tuple[str, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class QueryRetiredEvent(TraceEvent):
+    """One plan query satisfied its stopping rule (or degraded out).
+
+    ``marginal_cells`` is the query's *incremental* cost over the shared
+    sampler — the cells the batch paid beyond what earlier queries of
+    the same plan had already counted.
+    """
+
+    event: ClassVar[str] = "query_retired"
+
+    name: str
+    index: int
+    stopping_reason: str
+    guarantee_met: bool
+    final_sample_size: int
+    marginal_cells: int
+    answer: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PlanEndEvent(TraceEvent):
+    """Emitted exactly once per executed plan, even on strict truncation.
+
+    ``cells_scanned`` is the plan-wide total over the shared sampler;
+    ``sample_floor`` is the ratcheted prefix size the executor will
+    start its next query from.
+    """
+
+    event: ClassVar[str] = "plan_end"
+
+    queries_completed: int
+    total_queries: int
+    cells_scanned: int
+    sample_floor: int
 
 
 @dataclass(frozen=True)

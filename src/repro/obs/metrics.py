@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, Union, cast
 from repro.exceptions import ParameterError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.plan import PlanStats
     from repro.core.results import GuaranteeStatus, RunStats
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "reset_global_registry",
+    "record_plan",
     "record_query",
 ]
 
@@ -379,3 +381,27 @@ def record_query(
     registry.histogram(
         "query_loop_seconds", "Per-query loop overhead outside counting/bounds"
     ).observe(stats.loop_seconds)
+
+
+def record_plan(registry: MetricsRegistry, *, stats: "PlanStats") -> None:
+    """Feed one executed plan's accounting into the standard instruments.
+
+    Called by :meth:`repro.core.plan.PlanExecutor.execute` after the
+    plan's :class:`~repro.core.plan.PlanStats` are final — including
+    plans truncated in strict mode, so dashboards see every batch the
+    executor attempted. The per-query instruments are still fed by
+    :func:`record_query` for each retired query; these plan-level
+    instruments add the batch view (shared-scan cost, batch latency).
+    """
+    registry.counter(
+        "plans_total", "Query plans executed"
+    ).inc()
+    registry.counter(
+        "plan_queries_total", "Queries retired by plan execution"
+    ).inc(stats.queries_completed)
+    registry.counter(
+        "plan_cells_scanned_total", "Attribute cells read during plan execution"
+    ).inc(stats.cells_scanned)
+    registry.histogram(
+        "plan_wall_seconds", "End-to-end plan latency"
+    ).observe(stats.wall_seconds)

@@ -46,8 +46,8 @@ def check(path: str, text: str, **kwargs):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_ten_rules_registered(self):
-        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 11)]
+    def test_all_eleven_rules_registered(self):
+        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 12)]
 
     def test_unused_suppression_code_reserved(self):
         assert UNUSED_SUPPRESSION == "SWP000"
@@ -367,6 +367,64 @@ class TestSWP010:
         report = check(CORE, text)
         assert codes(report) == []
         assert [v.rule for v in report.suppressed] == ["SWP010"]
+
+
+# ----------------------------------------------------------------------
+# SWP011 — adaptive loops stay behind the planner
+# ----------------------------------------------------------------------
+class TestSWP011:
+    def test_direct_top_k_loop_fires_in_baselines(self):
+        text = (
+            "from repro.core.engine import adaptive_top_k\n\n"
+            "def f(provider, sampler, names, schedule):\n"
+            "    return adaptive_top_k(provider, sampler, names, 3, 0.1, schedule)\n"
+        )
+        assert codes(check(BASELINES, text)) == ["SWP011"]
+
+    def test_direct_filter_loop_fires_in_core(self):
+        text = (
+            "from repro.core import engine\n\n"
+            "def f(provider, sampler, names, schedule):\n"
+            "    return engine.adaptive_filter(\n"
+            "        provider, sampler, names, 2.0, 0.05, schedule\n"
+            "    )\n"
+        )
+        assert codes(check(CORE, text)) == ["SWP011"]
+
+    def test_engine_and_plan_are_exempt(self):
+        text = (
+            "def adaptive_top_k(*args):\n    return args\n\n"
+            "def f(x):\n    return adaptive_top_k(x)\n"
+        )
+        for path in (ENGINE, "src/repro/core/plan.py"):
+            assert codes(check(path, text)) == [], path
+
+    def test_tests_and_benchmarks_out_of_scope(self):
+        text = (
+            "from repro.core.engine import adaptive_filter\n\n"
+            "def f(provider, sampler, names, schedule):\n"
+            "    return adaptive_filter(provider, sampler, names, 2.0, 0.05, schedule)\n"
+        )
+        for path in ("tests/example.py", "benchmarks/example.py"):
+            assert codes(check(path, text)) == [], path
+
+    def test_unrelated_call_names_are_clean(self):
+        text = (
+            "from repro.core.plan import run_query_spec\n\n"
+            "def f(store, spec):\n    return run_query_spec(store, spec)\n"
+        )
+        assert codes(check(CORE, text)) == []
+
+    def test_noqa_with_justification_suppresses(self):
+        text = (
+            "from repro.core.engine import adaptive_top_k\n\n"
+            "def f(provider, sampler, names, schedule):\n"
+            "    # ablation harness: deliberately bypasses plan accounting\n"
+            "    return adaptive_top_k(provider, sampler, names, 3, 0.1, schedule)  # noqa: SWP011\n"
+        )
+        report = check(BASELINES, text)
+        assert codes(report) == []
+        assert [v.rule for v in report.suppressed] == ["SWP011"]
 
 
 # ----------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -86,3 +88,75 @@ class TestCommands:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestQueryBatch:
+    def _plan_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "queries": [
+                        {"name": "a", "kind": "topk-entropy", "k": 2},
+                        {"name": "b", "kind": "filter-entropy", "threshold": 2.0},
+                        {
+                            "name": "c", "kind": "topk-mi",
+                            "target": "mi_base_00", "k": 2,
+                        },
+                    ]
+                }
+            )
+        )
+        return str(path)
+
+    def test_batch_mode_runs_plan(self, tmp_path, capsys):
+        code = main(
+            ["query", "--queries", self._plan_file(tmp_path),
+             "--dataset", "cdc", "--scale", "0.01", "--emit-metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: 3 queries" in out
+        for name in ("[a]", "[b]", "[c]"):
+            assert name in out
+        assert "shared-scan accounting:" in out
+        assert "plans_total=1" in out
+        assert "plan_queries_total=3" in out
+
+    def test_kind_and_queries_are_mutually_exclusive(self, tmp_path, capsys):
+        code = main(
+            ["query", "topk-entropy", "--queries", self._plan_file(tmp_path),
+             "--dataset", "cdc", "--scale", "0.01"]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_query_without_kind_or_plan_errors(self, capsys):
+        code = main(["query", "--dataset", "cdc", "--scale", "0.01"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_plan_file_errors(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code = main(
+            ["query", "--queries", str(path), "--dataset", "cdc",
+             "--scale", "0.01"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "plan_trace.jsonl"
+        code = main(
+            ["query", "--queries", self._plan_file(tmp_path),
+             "--dataset", "cdc", "--scale", "0.01",
+             "--trace-out", str(trace)]
+        )
+        assert code == 0
+        lines = trace.read_text().splitlines()
+        kinds = [json.loads(line)["event"] for line in lines]
+        assert kinds[0] == "header"
+        assert kinds[1] == "plan_start"
+        assert kinds[-1] == "plan_end"
+        assert kinds.count("query_retired") == 3

@@ -3,9 +3,12 @@
 Each of the four SWOPE query algorithms is run against a fixed store at a
 fixed seed with an explicit multi-iteration schedule, and its JSONL trace
 is compared byte-for-byte against a committed golden file under
-``tests/golden/``. Trace events carry no wall-clock fields, so the stream
-is a pure function of the seeded shuffle — any diff is a real behaviour
-change in the engine, not noise.
+``tests/golden/``; a fifth case drives a mixed four-query plan through
+:class:`~repro.core.plan.PlanExecutor` so the plan-level events
+(``plan_start``/``query_retired``/``plan_end``) are pinned too. Trace
+events carry no wall-clock fields, so the stream is a pure function of
+the seeded shuffle — any diff is a real behaviour change in the engine,
+not noise.
 
 The first line of every trace is the schema header; it is parsed (not
 byte-compared) so bumping ``TRACE_SCHEMA_VERSION`` fails loudly in
@@ -27,6 +30,7 @@ import pytest
 from repro.core.filtering import swope_filter_entropy
 from repro.core.mi_filtering import swope_filter_mutual_information
 from repro.core.mi_topk import swope_top_k_mutual_information
+from repro.core.plan import PlanExecutor, QuerySpec, plan_queries
 from repro.core.schedule import SampleSchedule
 from repro.core.topk import swope_top_k_entropy
 from repro.data.column_store import ColumnStore
@@ -56,8 +60,29 @@ def _golden_store() -> ColumnStore:
     )
 
 
+def _mixed_specs() -> list[QuerySpec]:
+    """The four-query heterogeneous plan pinned by the plan_mixed golden."""
+    return [
+        QuerySpec(kind="top_k", score="entropy", k=2, epsilon=0.1, prune=False),
+        QuerySpec(kind="filter", score="entropy", threshold=2.0, epsilon=0.05),
+        QuerySpec(
+            kind="top_k", score="mutual_information", k=2, epsilon=0.5,
+            target="target", prune=False,
+        ),
+        QuerySpec(
+            kind="filter", score="mutual_information", threshold=0.5,
+            epsilon=0.5, target="target",
+        ),
+    ]
+
+
 def _run_case(case: str, sink: JsonlSink, backend: str | None = None) -> None:
     store = _golden_store()
+    if case == "plan_mixed":
+        executor = PlanExecutor(store, seed=SEED, backend=backend)
+        plan = plan_queries(store, _mixed_specs())
+        executor.execute(plan, trace=sink)
+        return
     schedule = SampleSchedule(store.num_rows, INITIAL_SAMPLE)
     common = {"seed": SEED, "schedule": schedule, "trace": sink, "backend": backend}
     if case == "topk_entropy":
@@ -80,7 +105,7 @@ def _trace_lines(case: str, backend: str | None = None) -> list[str]:
     return buffer.getvalue().splitlines()
 
 
-CASES = ["topk_entropy", "filter_entropy", "topk_mi", "filter_mi"]
+CASES = ["topk_entropy", "filter_entropy", "topk_mi", "filter_mi", "plan_mixed"]
 
 
 @pytest.mark.parametrize("case", CASES)
@@ -134,6 +159,11 @@ def test_goldens_have_multi_iteration_traces() -> None:
     for path in sorted(GOLDEN_DIR.glob("*.jsonl")):
         kinds = [json.loads(line)["event"] for line in path.read_text().splitlines()]
         assert kinds[0] == "header"
-        assert kinds[1] == "query_start"
-        assert kinds[-1] == "query_end"
+        if path.name.startswith("plan_"):
+            assert kinds[1] == "plan_start"
+            assert kinds[-1] == "plan_end"
+            assert kinds.count("query_retired") >= 2, f"{path.name}: {kinds}"
+        else:
+            assert kinds[1] == "query_start"
+            assert kinds[-1] == "query_end"
         assert kinds.count("iteration") >= 2, f"{path.name}: {kinds}"

@@ -1,0 +1,443 @@
+"""Tests for repro.core.plan: specs, the planner, and the shared executor.
+
+Four layers:
+
+* spec/plan validation — structural errors are typed ``PlanError``s
+  (duplicates, conflicting fields, bad thresholds, MI target listed
+  among its own candidates), while store-resolution errors keep the
+  legacy ``SchemaError``/``ParameterError`` types and messages;
+* bit-identity — every single-query plan through
+  :class:`~repro.core.plan.PlanExecutor` must reproduce the legacy
+  ``swope_*`` entry point exactly (same seed, both backends), and a
+  mixed four-query plan must reproduce the same four queries run
+  sequentially in a fresh :class:`~repro.core.session.QuerySession`;
+* resilience — plan-wide budgets hand each query the residual, every
+  query still answers (with its own guarantee status), and strict mode
+  raises on the first truncation while still ratcheting the floor;
+* observability — the plan event envelope and the plan metrics
+  reconcile with the executor's own accounting.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.budget import CancellationToken, QueryBudget
+from repro.core.filtering import swope_filter_entropy
+from repro.core.mi_filtering import swope_filter_mutual_information
+from repro.core.mi_topk import swope_top_k_mutual_information
+from repro.core.plan import (
+    PAPER_EPSILON,
+    PlanExecutor,
+    QuerySpec,
+    load_plan,
+    plan_queries,
+)
+from repro.core.session import QuerySession
+from repro.core.topk import swope_top_k_entropy
+from repro.data.column_store import ColumnStore
+from repro.exceptions import (
+    DataFormatError,
+    ParameterError,
+    PlanError,
+    QueryInterruptedError,
+    SchemaError,
+)
+from repro.obs import InMemorySink, MetricsRegistry
+
+SEED = 7
+BACKENDS = ["numpy", "threads"]
+
+
+@pytest.fixture()
+def store(rng: np.random.Generator) -> ColumnStore:
+    n = 3000
+    target = rng.integers(0, 6, n)
+    keep = rng.random(n) < 0.7
+    return ColumnStore(
+        {
+            "wide": rng.integers(0, 64, n),
+            "medium": rng.integers(0, 12, n),
+            "narrow": rng.integers(0, 3, n),
+            "target": target,
+            "noisy": np.where(keep, target, rng.integers(0, 6, n)),
+            "independent": rng.integers(0, 6, n),
+        }
+    )
+
+
+def _mixed_specs() -> list[QuerySpec]:
+    return [
+        QuerySpec(kind="top_k", score="entropy", k=2, prune=False, name="tk_h"),
+        QuerySpec(kind="filter", score="entropy", threshold=2.0, name="f_h"),
+        QuerySpec(
+            kind="top_k", score="mutual_information", k=2, target="target",
+            prune=False, name="tk_mi",
+        ),
+        QuerySpec(
+            kind="filter", score="mutual_information", threshold=0.5,
+            target="target", name="f_mi",
+        ),
+    ]
+
+
+def _assert_results_equal(left, right) -> None:
+    """Bit-identity on everything deterministic about a query result."""
+    assert left.attributes == right.attributes
+    assert left.estimates == right.estimates
+    assert left.guarantee == right.guarantee
+    assert left.stats.iterations == right.stats.iterations
+    assert left.stats.final_sample_size == right.stats.final_sample_size
+    assert left.stats.population_size == right.stats.population_size
+    assert left.stats.candidates_pruned == right.stats.candidates_pruned
+
+
+# ----------------------------------------------------------------------
+# QuerySpec validation
+# ----------------------------------------------------------------------
+class TestQuerySpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="sample", score="entropy", k=1)
+
+    def test_unknown_score_rejected(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="top_k", score="gini", k=1)
+
+    def test_top_k_needs_k(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="top_k", score="entropy")
+
+    def test_top_k_rejects_threshold(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="top_k", score="entropy", k=2, threshold=1.0)
+
+    def test_filter_needs_threshold(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="filter", score="entropy")
+
+    def test_filter_rejects_k(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="filter", score="entropy", threshold=1.0, k=3)
+
+    def test_mi_needs_target(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="top_k", score="mutual_information", k=2)
+
+    def test_entropy_rejects_target(self):
+        with pytest.raises(PlanError):
+            QuerySpec(kind="top_k", score="entropy", k=2, target="wide")
+
+    def test_from_dict_resolves_combined_kinds(self):
+        spec = QuerySpec.from_dict({"kind": "topk-mi", "k": 2, "target": "t"})
+        assert (spec.kind, spec.score) == ("top_k", "mutual_information")
+        spec = QuerySpec.from_dict({"kind": "filter-entropy", "threshold": 1.5})
+        assert (spec.kind, spec.score) == ("filter", "entropy")
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(PlanError, match="unknown"):
+            QuerySpec.from_dict({"kind": "topk-entropy", "k": 2, "kk": 3})
+
+    def test_from_dict_type_checks(self):
+        with pytest.raises(PlanError):
+            QuerySpec.from_dict({"kind": "topk-entropy", "k": "two"})
+        with pytest.raises(PlanError):
+            QuerySpec.from_dict({"kind": "topk-entropy", "k": True})
+
+
+# ----------------------------------------------------------------------
+# load_plan
+# ----------------------------------------------------------------------
+class TestLoadPlan:
+    def test_accepts_bare_list_and_envelope(self, tmp_path):
+        entries = [{"kind": "topk-entropy", "k": 2}]
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(entries))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"queries": entries}))
+        assert load_plan(bare) == load_plan(wrapped)
+
+    def test_missing_file_is_data_format_error(self, tmp_path):
+        with pytest.raises(DataFormatError):
+            load_plan(tmp_path / "nope.json")
+
+    def test_invalid_json_is_data_format_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(DataFormatError):
+            load_plan(path)
+
+    def test_bad_entry_is_plan_error(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text(json.dumps([{"kind": "topk-entropy"}]))  # missing k
+        with pytest.raises(PlanError):
+            load_plan(path)
+
+    def test_committed_example_plan_loads(self):
+        specs = load_plan("examples/plan_mixed.json")
+        assert len(specs) == 4
+        assert {s.kind for s in specs} == {"top_k", "filter"}
+
+
+# ----------------------------------------------------------------------
+# plan_queries
+# ----------------------------------------------------------------------
+class TestPlanQueries:
+    def test_empty_plan_rejected(self, store):
+        with pytest.raises(PlanError):
+            plan_queries(store, [])
+
+    def test_duplicate_names_rejected(self, store):
+        specs = [
+            QuerySpec(kind="top_k", score="entropy", k=1, name="q"),
+            QuerySpec(kind="filter", score="entropy", threshold=1.0, name="q"),
+        ]
+        with pytest.raises(PlanError, match="duplicate query name"):
+            plan_queries(store, specs)
+
+    def test_same_query_twice_rejected(self, store):
+        spec = QuerySpec(kind="top_k", score="entropy", k=2)
+        with pytest.raises(PlanError, match="repeats an earlier query"):
+            plan_queries(store, [spec, QuerySpec(kind="top_k", score="entropy", k=2)])
+
+    def test_nonpositive_filter_threshold_rejected(self, store):
+        for eta in (0.0, -1.0, float("nan")):
+            spec = QuerySpec(kind="filter", score="entropy", threshold=eta)
+            with pytest.raises(PlanError, match="finite and > 0"):
+                plan_queries(store, [spec])
+
+    def test_zero_threshold_still_legal_on_legacy_path(self, store):
+        # The planner's η > 0 rule is a plan-level lint; the single-query
+        # API keeps the paper's η ≥ 0 domain.
+        result = swope_filter_entropy(store, 0.0, seed=SEED)
+        assert result.attributes  # every attribute clears η = 0
+
+    def test_mi_target_as_candidate_rejected(self, store):
+        spec = QuerySpec(
+            kind="top_k", score="mutual_information", k=1, target="target",
+            attributes=("target", "noisy"),
+        )
+        with pytest.raises(PlanError, match="cannot\\s+also be a candidate"):
+            plan_queries(store, [spec])
+
+    def test_unknown_attributes_keep_schema_error(self, store):
+        spec = QuerySpec(
+            kind="top_k", score="entropy", k=1, attributes=("ghost",)
+        )
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            plan_queries(store, [spec])
+
+    def test_epsilon_defaults_filled_from_paper(self, store):
+        plan = plan_queries(store, _mixed_specs())
+        assert [s.epsilon for s in plan.specs] == [
+            PAPER_EPSILON[("top_k", "entropy")],
+            PAPER_EPSILON[("filter", "entropy")],
+            PAPER_EPSILON[("top_k", "mutual_information")],
+            PAPER_EPSILON[("filter", "mutual_information")],
+        ]
+
+    def test_count_groups(self, store):
+        plan = plan_queries(store, _mixed_specs())
+        assert set(plan.marginal_attributes) == set(store.attributes)
+        assert len(plan.joint_targets) == 1
+        target, candidates = plan.joint_targets[0]
+        assert target == "target"
+        assert set(candidates) == set(store.attributes) - {"target"}
+
+    def test_names_default_to_positional(self, store):
+        plan = plan_queries(
+            store,
+            [
+                QuerySpec(kind="top_k", score="entropy", k=1),
+                QuerySpec(kind="filter", score="entropy", threshold=1.0),
+            ],
+        )
+        assert plan.names == ("q0", "q1")
+
+
+# ----------------------------------------------------------------------
+# Bit-identity against the legacy entry points
+# ----------------------------------------------------------------------
+LEGACY = {
+    "tk_h": lambda store, backend: swope_top_k_entropy(
+        store, 2, seed=SEED, backend=backend, prune=False
+    ),
+    "f_h": lambda store, backend: swope_filter_entropy(
+        store, 2.0, seed=SEED, backend=backend
+    ),
+    "tk_mi": lambda store, backend: swope_top_k_mutual_information(
+        store, "target", 2, seed=SEED, backend=backend, prune=False
+    ),
+    "f_mi": lambda store, backend: swope_filter_mutual_information(
+        store, "target", 0.5, seed=SEED, backend=backend
+    ),
+}
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", sorted(LEGACY))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_query_plan_matches_legacy(self, store, name, backend):
+        spec = next(s for s in _mixed_specs() if s.name == name)
+        executor = PlanExecutor(store, seed=SEED, backend=backend)
+        plan = plan_queries(store, [spec])
+        outcome = executor.execute(plan)
+        legacy = LEGACY[name](store, backend)
+        _assert_results_equal(outcome[name], legacy)
+        assert outcome[name].stats.cells_scanned == legacy.stats.cells_scanned
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_plan_matches_sequential_session(self, store, backend):
+        executor = PlanExecutor(store, seed=SEED, backend=backend)
+        outcome = executor.execute(plan_queries(store, _mixed_specs()))
+
+        session = QuerySession(store, seed=SEED, backend=backend)
+        sequential = {
+            "tk_h": session.top_k_entropy(2),
+            "f_h": session.filter_entropy(2.0),
+            "tk_mi": session.top_k_mutual_information("target", 2),
+            "f_mi": session.filter_mutual_information("target", 0.5),
+        }
+        for name, expected in sequential.items():
+            _assert_results_equal(outcome[name], expected)
+        assert executor.cells_scanned == session.cells_scanned
+
+    def test_session_run_plan_facade(self, store):
+        session = QuerySession(store, seed=SEED)
+        outcome = session.run_plan(_mixed_specs())
+        assert len(outcome) == 4
+        assert session.queries_run == 4
+
+
+# ----------------------------------------------------------------------
+# Shared-scan accounting
+# ----------------------------------------------------------------------
+class TestSharedCost:
+    def test_shared_scan_beats_standalone(self, store):
+        executor = PlanExecutor(store, seed=SEED)
+        outcome = executor.execute(plan_queries(store, _mixed_specs()))
+        standalone = sum(
+            LEGACY[name](store, None).stats.cells_scanned for name in LEGACY
+        )
+        assert outcome.stats.cells_scanned < standalone
+        assert outcome.stats.cells_scanned == sum(
+            outcome.stats.per_query_cells.values()
+        )
+        assert outcome.stats.sample_floor == executor.sample_floor
+        assert executor.sampler.counted_attributes  # counters retained
+
+    def test_result_lookup_errors_are_typed(self, store):
+        executor = PlanExecutor(store, seed=SEED)
+        outcome = executor.execute(
+            plan_queries(store, [QuerySpec(kind="top_k", score="entropy", k=1)])
+        )
+        with pytest.raises(PlanError, match="no query named"):
+            outcome["ghost"]
+
+
+# ----------------------------------------------------------------------
+# Plan-wide resilience
+# ----------------------------------------------------------------------
+class TestPlanResilience:
+    def test_plan_wide_cell_budget_degrades_each_query(self, store):
+        executor = PlanExecutor(
+            store, seed=SEED, budget=QueryBudget(max_cells=1)
+        )
+        outcome = executor.execute(plan_queries(store, _mixed_specs()))
+        assert outcome.stats.queries_completed == 4
+        for name in ("tk_h", "f_h", "tk_mi", "f_mi"):
+            status = outcome[name].guarantee
+            assert status is not None
+            assert not status.guarantee_met
+            assert status.stopping_reason == "cell_budget"
+            # The anytime contract: every query still runs one iteration.
+            assert outcome[name].stats.iterations >= 1
+
+    def test_precancelled_token_still_answers(self, store):
+        token = CancellationToken()
+        token.cancel("test shutdown")
+        executor = PlanExecutor(store, seed=SEED)
+        outcome = executor.execute(
+            plan_queries(store, _mixed_specs()), cancellation=token
+        )
+        for name in outcome:
+            status = outcome[name].guarantee
+            assert status is not None
+            assert status.stopping_reason == "cancelled"
+
+    def test_strict_mode_raises_and_ratchets(self, store):
+        executor = PlanExecutor(
+            store, seed=SEED, budget=QueryBudget(max_cells=1)
+        )
+        sink = InMemorySink()
+        with pytest.raises(QueryInterruptedError):
+            executor.execute(
+                plan_queries(store, _mixed_specs()), strict=True, trace=sink
+            )
+        # The partial run's prefix counters survive for later queries.
+        assert executor.sample_floor > 0
+        kinds = sink.kinds()
+        assert kinds[0] == "plan_start"
+        assert kinds[-1] == "plan_end"
+        assert kinds.count("query_retired") == 1  # the truncated query
+        (end,) = sink.of_kind("plan_end")
+        assert end.queries_completed == 0
+
+    def test_executor_rejects_backend_override(self, store):
+        executor = PlanExecutor(store, seed=SEED)
+        spec = QuerySpec(kind="top_k", score="entropy", k=1)
+        with pytest.raises(ParameterError):
+            executor.execute_one(spec, backend="threads")
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestPlanObservability:
+    def test_event_envelope_and_metrics_reconcile(self, store):
+        sink = InMemorySink()
+        registry = MetricsRegistry()
+        executor = PlanExecutor(store, seed=SEED, trace=sink, metrics=registry)
+        outcome = executor.execute(plan_queries(store, _mixed_specs()))
+
+        kinds = sink.kinds()
+        assert kinds[0] == "plan_start"
+        assert kinds[-1] == "plan_end"
+        retired = sink.of_kind("query_retired")
+        assert [e.name for e in retired] == ["tk_h", "f_h", "tk_mi", "f_mi"]
+        assert [e.index for e in retired] == [0, 1, 2, 3]
+        assert all(e.guarantee_met for e in retired)
+        assert [e.marginal_cells for e in retired] == [
+            outcome.stats.per_query_cells[e.name] for e in retired
+        ]
+
+        (start,) = sink.of_kind("plan_start")
+        assert start.num_queries == 4
+        assert start.population_size == store.num_rows
+        (end,) = sink.of_kind("plan_end")
+        assert end.queries_completed == 4
+        assert end.cells_scanned == outcome.stats.cells_scanned
+        assert end.sample_floor == outcome.stats.sample_floor
+
+        assert registry.counter("plans_total").value == 1
+        assert registry.counter("plan_queries_total").value == 4
+        assert (
+            registry.counter("plan_cells_scanned_total").value
+            == outcome.stats.cells_scanned
+        )
+
+    def test_plan_trace_brackets_per_query_traces(self, store):
+        sink = InMemorySink()
+        executor = PlanExecutor(store, seed=SEED, trace=sink)
+        executor.execute(
+            plan_queries(store, [QuerySpec(kind="top_k", score="entropy", k=1)])
+        )
+        kinds = sink.kinds()
+        assert kinds[0] == "plan_start"
+        assert "query_start" in kinds and "query_end" in kinds
+        assert kinds.index("query_start") > kinds.index("plan_start")
+        assert kinds.index("query_retired") > kinds.index("query_end")
+        assert kinds[-1] == "plan_end"
