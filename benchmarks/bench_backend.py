@@ -46,6 +46,7 @@ from repro.core.engine import (
 from repro.core.estimators import entropy_from_counts, joint_entropy_from_counter
 from repro.core.schedule import initial_sample_size
 from repro.data.column_store import ColumnStore
+from repro.durability.atomic import atomic_write_text
 from repro.data.sampling import PrefixSampler
 
 #: Wide workload of the issue's acceptance criterion: h >= 64, N >= 10^6.
@@ -274,7 +275,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     payload = {"machine_info": {"note": "single-core reference box"}, "benchmarks": benchmarks}
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(Path(args.output), json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     headline = next(
         b["extra_info"]["speedup_vs_scalar"]

@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.durability.atomic import atomic_write_text
 from repro.core.filtering import swope_filter_entropy
 from repro.core.mi_filtering import swope_filter_mutual_information
 from repro.core.mi_topk import swope_top_k_mutual_information
@@ -205,7 +206,7 @@ def main(argv: list[str] | None = None) -> int:
         "machine_info": {"note": "single-core reference box"},
         "benchmarks": benchmarks,
     }
-    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(Path(args.output), json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0
 

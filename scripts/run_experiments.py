@@ -22,6 +22,7 @@ import json
 import time
 from pathlib import Path
 
+from repro.durability.atomic import atomic_write_text
 from repro.experiments.figures import FIGURES, run_figure, run_table2
 from repro.experiments.persistence import save_figure_run
 from repro.experiments.summary import summarize_run
@@ -31,7 +32,7 @@ from repro.experiments.report import render_figure, render_table2
 def dump_figure(run, out_dir: Path) -> dict:
     """Write one figure's text + JSON artifacts; return summary stats."""
     fig_id = run.spec.figure_id
-    (out_dir / f"{fig_id}.txt").write_text(render_figure(run) + "\n")
+    atomic_write_text(out_dir / f"{fig_id}.txt", render_figure(run) + "\n")
     # The JSON uses the repro.experiments.persistence format so stored
     # references load directly into `repro compare`.
     save_figure_run(run, out_dir / f"{fig_id}.json")
@@ -57,8 +58,8 @@ def main() -> None:
     datasets = args.datasets.split(",")
 
     table2 = run_table2(scale=args.scale)
-    (out_dir / "table2.txt").write_text(render_table2(table2) + "\n")
-    (out_dir / "table2.json").write_text(json.dumps(table2, indent=1))
+    atomic_write_text(out_dir / "table2.txt", render_table2(table2) + "\n")
+    atomic_write_text(out_dir / "table2.json", json.dumps(table2, indent=1))
     print("table2 done")
 
     summaries = []
@@ -78,7 +79,7 @@ def main() -> None:
         print(f"{fig_id} done in {time.perf_counter() - started:.1f}s: {summary}")
 
     lines = [json.dumps(s) for s in summaries]
-    (out_dir / "summary.txt").write_text("\n".join(lines) + "\n")
+    atomic_write_text(out_dir / "summary.txt", "\n".join(lines) + "\n")
     print(f"all results under {out_dir}/")
 
 

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.analysis.rules import Violation
+from repro.durability.atomic import atomic_write_text
 from repro.exceptions import AnalysisError
 
 __all__ = ["Baseline"]
@@ -74,7 +75,9 @@ class Baseline:
             "version": _FORMAT_VERSION,
             "fingerprints": dict(sorted(self.fingerprints.items())),
         }
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        atomic_write_text(
+            path, json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
 
     def __len__(self) -> int:
         return sum(self.fingerprints.values())

@@ -1,4 +1,4 @@
-"""The concrete SWOPE rules, ``SWP001``–``SWP010``.
+"""The concrete SWOPE rules, ``SWP001``–``SWP012``.
 
 Each rule encodes one repository invariant that the test suite can only
 spot-check; ``docs/ANALYSIS.md`` documents the rationale and the
@@ -758,3 +758,101 @@ def _check_planner_seam(context: ModuleContext) -> Iterator[Violation]:
                 " shared-scan accounting, and plan events stay wired, or"
                 " '# noqa: SWP011' with a justification",
             )
+
+
+# ----------------------------------------------------------------------
+# SWP012 — durable artifacts are written atomically
+# ----------------------------------------------------------------------
+_WRITE_MODES = {"w", "wb", "wt", "w+", "w+b", "wb+", "x", "xb", "xt", "x+"}
+
+#: Packages allowed to open files for writing directly: the atomic
+#: writer itself, and the chaos harness (whose *job* is producing the
+#: torn files the atomic writer prevents).
+_ATOMIC_EXEMPT_PACKAGES = ("repro.durability", "repro.testing")
+
+
+def _call_write_mode(node: ast.Call) -> str | None:
+    """The string-constant write mode of an open()-style call, if any."""
+    mode_arg: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode_arg = node.args[1]
+    elif len(node.args) == 1 and isinstance(node.func, ast.Attribute):
+        # path.open("w") — the path object is the receiver, mode is arg 0.
+        mode_arg = node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_arg = keyword.value
+    if (
+        isinstance(mode_arg, ast.Constant)
+        and isinstance(mode_arg.value, str)
+        and mode_arg.value.replace("a", "w") in _WRITE_MODES
+    ):
+        return mode_arg.value
+    return None
+
+
+@rule(
+    "SWP012",
+    "atomic-durable-writes",
+    summary="durable artifacts must go through repro.durability.atomic"
+    " (write-temp-then-rename), not bare open/write_text",
+    scope="src/repro except repro.durability and repro.testing",
+)
+def _check_atomic_writes(context: ModuleContext) -> Iterator[Violation]:
+    """Every durable artifact survives a crash mid-write, or it is not durable.
+
+    A bare ``open(path, "w")`` / ``Path.write_text`` truncates the
+    destination before the new bytes land: a crash (or a full disk)
+    between those two moments destroys the previous artifact *and* the
+    new one. Checkpoints, traces, metrics dumps, bench JSON, and
+    experiment results must route through
+    :func:`repro.durability.atomic.atomic_write_text` /
+    ``atomic_write_bytes`` / :class:`~repro.durability.atomic.AtomicTextFile`,
+    which publish by ``os.replace`` only after a flushed, fsynced temp
+    write. :mod:`repro.durability` (the implementation) and
+    :mod:`repro.testing` (which deliberately manufactures torn files)
+    are exempt; a genuinely non-durable scratch write may suppress with
+    ``# noqa: SWP012`` and a justification.
+    """
+    if not context.in_package("repro") or any(
+        context.in_package(package) for package in _ATOMIC_EXEMPT_PACKAGES
+    ):
+        return
+    this = RULES["SWP012"]
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = _call_write_mode(node)
+            if mode is not None:
+                yield context.violation(
+                    this,
+                    node,
+                    f"open(..., {mode!r}) writes in place: a crash mid-write"
+                    " tears the artifact — use repro.durability.atomic"
+                    " (atomic_write_text/AtomicTextFile), or '# noqa:"
+                    " SWP012' for scratch files",
+                )
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        method = node.func.attr
+        if method in {"write_text", "write_bytes"}:
+            yield context.violation(
+                this,
+                node,
+                f".{method}() writes in place: a crash mid-write tears the"
+                " artifact — use repro.durability.atomic"
+                " (atomic_write_text/atomic_write_bytes), or '# noqa:"
+                " SWP012' for scratch files",
+            )
+        elif method == "open":
+            mode = _call_write_mode(node)
+            if mode is not None:
+                yield context.violation(
+                    this,
+                    node,
+                    f".open({mode!r}) writes in place: a crash mid-write"
+                    " tears the artifact — use repro.durability.atomic, or"
+                    " '# noqa: SWP012' for scratch files",
+                )

@@ -47,6 +47,7 @@ from repro.core import (
     swope_top_k_mutual_information,
 )
 from repro.data.describe import describe_store
+from repro.durability.atomic import atomic_write_text
 from repro.experiments.figures import FIGURES, run_figure, run_table2
 from repro.experiments.latex import figure_latex
 from repro.experiments.persistence import load_figure_run, save_figure_run
@@ -173,6 +174,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit-metrics", action="store_true",
         help="print a one-line metrics summary after the answer",
     )
+    query.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="batch mode: durably snapshot plan progress to PATH (atomic"
+             " write-rename) at plan start, iteration boundaries, and every"
+             " query retirement, so a crash can resume with --resume",
+    )
+    query.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="save a boundary checkpoint every N iteration boundaries"
+             " (default 1; retirement checkpoints are always written)",
+    )
+    query.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume an interrupted --queries batch from the checkpoint at"
+             " PATH (verified against the dataset fingerprint); --queries"
+             " may be omitted — the plan is recovered from the checkpoint",
+    )
 
     select = sub.add_parser(
         "select", help="run a feature-selection application"
@@ -236,7 +254,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         save_figure_run(run, args.save)
         print(f"wrote {args.save}")
     if args.latex:
-        Path(args.latex).write_text(figure_latex(run, metric=args.svg_metric))
+        atomic_write_text(Path(args.latex), figure_latex(run, metric=args.svg_metric))
         print(f"wrote {args.latex}")
     return 0
 
@@ -258,10 +276,10 @@ def _write_metrics_file(registry: MetricsRegistry, destination: str) -> None:
     """Dump a registry: Prometheus text for ``.prom`` paths, JSON otherwise."""
     path = Path(destination)
     if path.suffix == ".prom":
-        path.write_text(registry.render_prometheus())
+        atomic_write_text(path, registry.render_prometheus())
     else:
-        path.write_text(
-            json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n"
+        atomic_write_text(
+            path, json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n"
         )
 
 
@@ -316,11 +334,17 @@ def _print_answer(result, *, phases: bool = False) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    if args.queries is not None and args.kind is not None:
+    batch = args.queries is not None or args.resume is not None
+    if batch and args.kind is not None:
         raise ParameterError(
-            "pass either a query kind or --queries PLAN, not both"
+            "pass either a query kind or a --queries/--resume batch, not both"
         )
-    if args.queries is not None:
+    if not batch and (args.checkpoint is not None or args.checkpoint_every != 1):
+        raise ParameterError(
+            "--checkpoint/--checkpoint-every apply to --queries batches"
+            " (single queries re-run cheaply; plans are what resume saves)"
+        )
+    if batch:
         return _cmd_query_batch(args)
     if args.kind is None:
         raise ParameterError(
@@ -386,26 +410,48 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_query_batch(args: argparse.Namespace) -> int:
-    """Execute a ``--queries`` plan file over one shared scan."""
+    """Execute a ``--queries`` plan file (or resume one) over one shared scan."""
     dataset = load_dataset(args.dataset, scale=args.scale)
     store = dataset.store
-    specs = load_plan(args.queries)
-    plan = plan_queries(store, specs)
     budget = _query_budget(args)
     sink = JsonlSink(args.trace_out) if args.trace_out else None
     registry = (
         MetricsRegistry() if (args.metrics_out or args.emit_metrics) else None
     )
-    executor = PlanExecutor(
-        store,
-        seed=args.seed,
-        backend=args.backend,
-        budget=budget,
-        trace=sink,
-        metrics=registry,
-    )
+    if args.resume is not None:
+        if args.checkpoint is not None:
+            raise ParameterError(
+                "pass either --checkpoint or --resume, not both: a resumed"
+                " run keeps checkpointing to the file it resumed from"
+            )
+        executor = PlanExecutor.resume(
+            args.resume, store,
+            backend=args.backend, trace=sink, metrics=registry,
+        )
+        plan = (
+            plan_queries(store, load_plan(args.queries))
+            if args.queries is not None
+            else executor.resumed_plan()
+        )
+    else:
+        specs = load_plan(args.queries)
+        plan = plan_queries(store, specs)
+        executor = PlanExecutor(
+            store,
+            seed=args.seed,
+            backend=args.backend,
+            budget=budget,
+            trace=sink,
+            metrics=registry,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+        )
     try:
-        outcome = executor.execute(plan, strict=args.strict)
+        if args.resume is not None and budget is None:
+            # Let the residual budget recorded in the checkpoint apply.
+            outcome = executor.execute(plan, strict=args.strict)
+        else:
+            outcome = executor.execute(plan, strict=args.strict, budget=budget)
     finally:
         # As in single-query mode: a strict-mode failure already streamed
         # its partial trace/metrics — flush them before propagating.

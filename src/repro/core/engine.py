@@ -28,7 +28,7 @@ import math
 import time
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Protocol, Union
+from typing import Callable, Protocol, Union
 
 from repro.core.bounds import (
     ConfidenceInterval,
@@ -71,6 +71,7 @@ from repro.obs.sinks import TraceSink
 __all__ = [
     "EntropyScoreProvider",
     "IterationTrace",
+    "LoopCheckpoint",
     "MutualInformationScoreProvider",
     "PhaseTimings",
     "QueryTrace",
@@ -388,6 +389,73 @@ class QueryTrace:
 TraceTarget = Union[QueryTrace, TraceSink]
 
 
+@dataclass(frozen=True)
+class LoopCheckpoint:
+    """Resumable state of an adaptive loop at one iteration boundary.
+
+    Captured by the ``checkpoint=`` hook of :func:`adaptive_top_k` /
+    :func:`adaptive_filter` *after* the boundary's pruning/retiring, so
+    a loop restarted from it (``resume_state=``) replays exactly the
+    iterations an uninterrupted run would have executed next — the
+    shared sampler's counters carry the rest of the state. Everything
+    here is deterministic at a fixed seed; serialisation belongs to
+    :mod:`repro.durability.checkpoint`.
+
+    Attributes
+    ----------
+    kind:
+        ``"top_k"`` or ``"filter"`` — which loop the state belongs to
+        (resuming into the other loop is a :class:`ParameterError`).
+    next_index:
+        Schedule index the resumed loop runs first.
+    iterations:
+        Iterations completed so far (feeds ``RunStats.iterations``).
+    live:
+        Live candidates (top-k) / still-undecided attributes (filter).
+    pruned:
+        Candidates pruned so far (top-k; feeds
+        ``RunStats.candidates_pruned``).
+    included:
+        Attributes already included (filter only), in decision order.
+    estimates:
+        Estimates of every retired attribute (filter only), in decision
+        order.
+    """
+
+    kind: str
+    next_index: int
+    iterations: int
+    live: tuple[str, ...]
+    pruned: int = 0
+    included: tuple[str, ...] = ()
+    estimates: tuple[AttributeEstimate, ...] = ()
+
+
+#: The per-iteration-boundary hook the plan executor uses to persist state.
+CheckpointHook = Callable[[LoopCheckpoint], None]
+
+
+def _resume_state_for(
+    resume_state: LoopCheckpoint | None, kind: str, schedule: SampleSchedule
+) -> LoopCheckpoint | None:
+    """Validate a ``resume_state`` against the loop it is entering."""
+    if resume_state is None:
+        return None
+    if resume_state.kind != kind:
+        raise ParameterError(
+            f"cannot resume a {resume_state.kind!r} loop state in a"
+            f" {kind!r} loop"
+        )
+    if not 0 < resume_state.next_index < len(schedule.sizes):
+        raise ParameterError(
+            f"resume state points at schedule index {resume_state.next_index},"
+            f" outside (0, {len(schedule.sizes)})"
+        )
+    if not resume_state.live:
+        raise ParameterError("resume state has no live attributes")
+    return resume_state
+
+
 def _score_name(provider: ScoreProvider) -> str:
     """Human label of the provider's score, for trace/metric dimensions."""
     return "entropy" if provider.bounds_per_attribute == 1 else "mutual_information"
@@ -511,6 +579,8 @@ def adaptive_top_k(
     cancellation: CancellationToken | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    checkpoint: CheckpointHook | None = None,
+    resume_state: LoopCheckpoint | None = None,
 ) -> TopKResult:
     """Generic SWOPE approximate top-k loop (Algorithms 1 and 3).
 
@@ -558,6 +628,16 @@ def adaptive_top_k(
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; the run's
         accounting feeds the standard instruments via
         :func:`repro.obs.metrics.record_query`.
+    checkpoint:
+        Optional hook called once per iteration boundary (after pruning,
+        only when the loop will continue) with the
+        :class:`LoopCheckpoint` a resumed loop needs; the plan executor
+        persists it via :mod:`repro.durability.checkpoint`.
+    resume_state:
+        A previously captured :class:`LoopCheckpoint` to restart from:
+        the loop skips the already-completed iterations (their counters
+        live in the shared sampler) and emits no ``query_start`` event —
+        the interrupted run already emitted it.
 
     Notes
     -----
@@ -574,6 +654,7 @@ def adaptive_top_k(
     if not candidates:
         raise ParameterError("top-k query needs at least one candidate attribute")
     k_effective = min(k, len(candidates))
+    resume_state = _resume_state_for(resume_state, "top_k", schedule)
     ctx = _LoopContext(
         sampler,
         provider,
@@ -583,7 +664,7 @@ def adaptive_top_k(
         provider.timings.snapshot(),
     )
     tracer = _TraceState(trace)
-    if tracer.active:
+    if tracer.active and resume_state is None:
         tracer.emit(
             QueryStartEvent(
                 kind="top_k",
@@ -598,10 +679,17 @@ def adaptive_top_k(
         )
     live = list(candidates)
     iterations = 0
+    start_index = 0
+    if resume_state is not None:
+        live = list(resume_state.live)
+        iterations = resume_state.iterations
+        start_index = resume_state.next_index
+        ctx.stats.candidates_pruned = resume_state.pruned
     answer: list[tuple[str, Interval]] = []
     stop_reason: str | None = None
-    sample_size = schedule.sizes[0]
-    for index, sample_size in enumerate(schedule.sizes):
+    sample_size = schedule.sizes[start_index]
+    for index in range(start_index, len(schedule.sizes)):
+        sample_size = schedule.sizes[index]
         iterations += 1
         intervals = provider.intervals(live, sample_size)
         by_upper = sorted(live, key=lambda a: intervals[a].upper, reverse=True)
@@ -662,6 +750,16 @@ def adaptive_top_k(
                     )
                 )
             live = survivors
+        if checkpoint is not None:
+            checkpoint(
+                LoopCheckpoint(
+                    kind="top_k",
+                    next_index=index + 1,
+                    iterations=iterations,
+                    live=tuple(live),
+                    pruned=ctx.stats.candidates_pruned,
+                )
+            )
     stats = ctx.finish(iterations, sample_size)
     estimates = [
         _estimate_from_interval(a, iv, sample_size) for a, iv in answer
@@ -728,6 +826,8 @@ def adaptive_filter(
     cancellation: CancellationToken | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    checkpoint: CheckpointHook | None = None,
+    resume_state: LoopCheckpoint | None = None,
 ) -> FilterResult:
     """Generic SWOPE approximate filtering loop (Algorithms 2 and 4).
 
@@ -741,14 +841,18 @@ def adaptive_filter(
     The loop ends when no attribute is undecided or the sample is the whole
     dataset (at which point widths are zero and rule 1 or 2 retires
     everything). ``budget``/``cancellation``/``strict``/``trace``/
-    ``metrics`` behave as in :func:`adaptive_top_k`; a truncated run
-    resolves the still-undecided attributes best-effort by interval
-    midpoint and lists them in ``result.guarantee.undecided``.
+    ``metrics``/``checkpoint``/``resume_state`` behave as in
+    :func:`adaptive_top_k`; a truncated run resolves the still-undecided
+    attributes best-effort by interval midpoint and lists them in
+    ``result.guarantee.undecided``. A filter checkpoint additionally
+    carries the already-included attributes and retired estimates, in
+    decision order, so a resumed run's final ordering is bit-identical.
     """
     epsilon = validate_epsilon(epsilon)
     threshold = validate_threshold(threshold)
     if not candidates:
         raise ParameterError("filtering query needs at least one candidate attribute")
+    resume_state = _resume_state_for(resume_state, "filter", schedule)
     ctx = _LoopContext(
         sampler,
         provider,
@@ -758,7 +862,7 @@ def adaptive_filter(
         provider.timings.snapshot(),
     )
     tracer = _TraceState(trace)
-    if tracer.active:
+    if tracer.active and resume_state is None:
         tracer.emit(
             QueryStartEvent(
                 kind="filter",
@@ -776,9 +880,17 @@ def adaptive_filter(
     estimates: dict[str, AttributeEstimate] = {}
     last_intervals: dict[str, Interval] = {}
     iterations = 0
+    start_index = 0
+    if resume_state is not None:
+        undecided = list(resume_state.live)
+        included = list(resume_state.included)
+        estimates = {e.attribute: e for e in resume_state.estimates}
+        iterations = resume_state.iterations
+        start_index = resume_state.next_index
     stop_reason: str | None = None
-    sample_size = schedule.sizes[0]
-    for index, sample_size in enumerate(schedule.sizes):
+    sample_size = schedule.sizes[start_index]
+    for index in range(start_index, len(schedule.sizes)):
+        sample_size = schedule.sizes[index]
         iterations += 1
         still: list[str] = []
         decided_now: list[str] = []
@@ -845,6 +957,17 @@ def adaptive_filter(
                         )
                     )
                 break
+            if checkpoint is not None:
+                checkpoint(
+                    LoopCheckpoint(
+                        kind="filter",
+                        next_index=index + 1,
+                        iterations=iterations,
+                        live=tuple(undecided),
+                        included=tuple(included),
+                        estimates=tuple(estimates[a] for a in estimates),
+                    )
+                )
     if stop_reason is None:
         # At M = N all widths are 0, so rule 1 (η > 0) or rule 2 (η = 0)
         # retires every attribute; reaching here with undecided attributes

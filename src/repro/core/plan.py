@@ -53,7 +53,7 @@ import json
 import math
 import time
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any, Iterator, Union
 
@@ -61,7 +61,9 @@ import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.engine import (
+    CheckpointHook,
     EntropyScoreProvider,
+    LoopCheckpoint,
     MutualInformationScoreProvider,
     ScoreProvider,
     TraceTarget,
@@ -77,6 +79,8 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import (
+    CheckpointError,
+    CheckpointMismatchError,
     DataFormatError,
     ParameterError,
     PlanError,
@@ -84,12 +88,19 @@ from repro.exceptions import (
     SchemaError,
 )
 from repro.obs.events import (
+    CheckpointSavedEvent,
     PlanEndEvent,
+    PlanResumedEvent,
     PlanStartEvent,
     QueryRetiredEvent,
     TraceEvent,
 )
-from repro.obs.metrics import MetricsRegistry, record_plan
+from repro.obs.metrics import (
+    MetricsRegistry,
+    record_checkpoint,
+    record_plan,
+    record_resume,
+)
 from repro.obs.sinks import TraceSink
 
 __all__ = [
@@ -561,6 +572,8 @@ def run_query_spec(
     cancellation: CancellationToken | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    checkpoint: CheckpointHook | None = None,
+    resume_state: LoopCheckpoint | None = None,
 ) -> QueryResult:
     """Run one spec through the adaptive engine.
 
@@ -571,7 +584,8 @@ def run_query_spec(
     SWP011 keeps any other caller from reaching around it. Validation
     order, defaults, and error messages are exactly the legacy entry
     points' (the bit-identity suite in ``tests/test_plan.py`` pins
-    this).
+    this). ``checkpoint``/``resume_state`` pass straight through to the
+    adaptive loops (see :class:`~repro.core.engine.LoopCheckpoint`).
     """
     names = _resolved_candidates(store, spec)
     if failure_probability is None:
@@ -616,7 +630,7 @@ def run_query_spec(
             provider, sampler, names, spec.k, epsilon, schedule,
             prune=spec.prune, target=target, trace=trace,
             budget=budget, cancellation=cancellation, strict=strict,
-            metrics=metrics,
+            metrics=metrics, checkpoint=checkpoint, resume_state=resume_state,
         )
     if spec.threshold is None:  # pragma: no cover - QuerySpec.__post_init__ guards
         raise PlanError("a filter spec needs a threshold")
@@ -624,7 +638,7 @@ def run_query_spec(
         provider, sampler, names, spec.threshold, epsilon, schedule,
         target=target, trace=trace,
         budget=budget, cancellation=cancellation, strict=strict,
-        metrics=metrics,
+        metrics=metrics, checkpoint=checkpoint, resume_state=resume_state,
     )
 
 
@@ -773,6 +787,19 @@ class PlanExecutor:
         Default :class:`~repro.obs.metrics.MetricsRegistry` fed by
         :func:`~repro.obs.metrics.record_plan` per plan and
         :func:`~repro.obs.metrics.record_query` per query.
+    checkpoint_path:
+        When set, :meth:`execute` durably snapshots plan progress to
+        this path (atomic write-rename, see
+        :mod:`repro.durability.checkpoint`): once at plan start, at
+        every ``checkpoint_every``-th iteration boundary of the running
+        query, and after every query retirement. A crash, budget
+        exhaustion, or cancellation therefore always leaves a loadable
+        checkpoint behind; :meth:`resume` restarts from it with
+        bit-identical final answers.
+    checkpoint_every:
+        Save a boundary checkpoint every this many iteration boundaries
+        (default 1 = every boundary). Retirement and plan-start
+        checkpoints are always written.
     """
 
     def __init__(
@@ -786,7 +813,13 @@ class PlanExecutor:
         backend: str | CountingBackend | None = None,
         trace: TraceSink | None = None,
         metrics: MetricsRegistry | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
     ) -> None:
+        if checkpoint_every < 1:
+            raise ParameterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every!r}"
+            )
         self._store = store
         self._sampler = PrefixSampler(
             store, seed=seed, sequential=sequential, retain=True, backend=backend
@@ -802,6 +835,13 @@ class PlanExecutor:
         self._floor = 0  # largest M any query has reached so far
         self._queries_run = 0
         self._last_cells = 0
+        self._checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self._checkpoint_every = checkpoint_every
+        self._boundaries = 0  # iteration boundaries seen across all plans
+        self._fingerprint: str | None = None
+        self._restored: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -882,13 +922,20 @@ class PlanExecutor:
         trace: TraceTarget | None = _UNSET,
         metrics: MetricsRegistry | None = _UNSET,
         backend: str | CountingBackend | None = None,
+        checkpoint: CheckpointHook | None = None,
+        resume_state: LoopCheckpoint | None = None,
+        cells_before: int | None = None,
     ) -> QueryResult:
         """Run one spec over the shared sampler, ratcheting the floor.
 
         ``budget``/``trace``/``metrics`` default to the executor-wide
         settings; pass ``None`` explicitly to lift/silence them for one
         query. A ``backend=`` here is always an error — the shared
-        sampler already owns its backend.
+        sampler already owns its backend. ``checkpoint``/
+        ``resume_state``/``cells_before`` are the durability hooks used
+        by :meth:`execute` and :meth:`resume`; ``cells_before`` replays
+        the query's original scan-start meter so the per-query cell
+        accounting of a resumed run matches the uninterrupted one.
         """
         if backend is not None:
             raise ParameterError(
@@ -903,7 +950,9 @@ class PlanExecutor:
             metrics = self._metrics
         if schedule is None:
             schedule = self._schedule_for(spec)
-        before = self._sampler.cells_scanned
+        before = (
+            self._sampler.cells_scanned if cells_before is None else cells_before
+        )
         try:
             result = run_query_spec(
                 self._store,
@@ -916,6 +965,8 @@ class PlanExecutor:
                 cancellation=cancellation,
                 strict=strict,
                 metrics=metrics,
+                checkpoint=checkpoint,
+                resume_state=resume_state,
             )
         except QueryInterruptedError as exc:
             # Strict-mode truncation: the shared prefix counters have
@@ -953,6 +1004,14 @@ class PlanExecutor:
         In strict mode the first truncation raises, after the
         ``query_retired`` (from the partial result) and ``plan_end``
         events and the plan metrics have been recorded.
+
+        With ``checkpoint_path`` set, progress is durably snapshotted at
+        plan start, at iteration boundaries (per ``checkpoint_every``),
+        and after every retirement; on an executor built by
+        :meth:`resume`, the first call picks the plan up mid-flight —
+        completed queries are restored without re-running, the in-flight
+        query restarts at its last checkpointed boundary, and the final
+        answers are bit-identical to an uninterrupted run.
         """
         if budget is _UNSET:
             budget = self._budget
@@ -966,22 +1025,117 @@ class PlanExecutor:
         results: dict[str, QueryResult] = {}
         per_query_cells: dict[str, int] = {}
         completed = 0
-        _emit(
-            sink,
-            PlanStartEvent(
-                num_queries=len(plan.specs),
-                queries=plan.names,
-                population_size=plan.population_size,
-                marginal_attributes=plan.marginal_attributes,
-                joint_targets=plan.joint_targets,
-            ),
-        )
+        start_index = 0
+        resume_loop: LoopCheckpoint | None = None
+        resume_cells: int | None = None
+        restored = self._restored
+        self._restored = None
+        if restored is not None:
+            self._check_resumed_plan(plan, restored["specs"])
+            cells_at_start = restored["plan_cells_at_start"]
+            per_query_cells = dict(restored["per_query_cells"])
+            for entry_name, entry_result in restored["results"]:
+                results[entry_name] = entry_result
+            completed = len(results)
+            in_flight = restored["in_flight"]
+            if metrics is not None:
+                record_resume(metrics, queries_completed=completed)
+            _emit(
+                sink,
+                PlanResumedEvent(
+                    queries_completed=completed,
+                    total_queries=len(plan.specs),
+                    boundary=self._boundaries,
+                    sample_floor=self._floor,
+                    population_size=plan.population_size,
+                    query=None if in_flight is None else in_flight["name"],
+                ),
+            )
+            if in_flight is None:
+                # The checkpoint captured an already-finished plan.
+                stats = PlanStats(
+                    queries=len(plan.specs),
+                    queries_completed=completed,
+                    cells_scanned=self._sampler.cells_scanned - cells_at_start,
+                    per_query_cells=per_query_cells,
+                    wall_seconds=time.perf_counter() - started,
+                    sample_floor=self._floor,
+                    population_size=plan.population_size,
+                )
+                _emit(
+                    sink,
+                    PlanEndEvent(
+                        queries_completed=completed,
+                        total_queries=len(plan.specs),
+                        cells_scanned=stats.cells_scanned,
+                        sample_floor=self._floor,
+                    ),
+                )
+                if metrics is not None:
+                    record_plan(metrics, stats=stats)
+                return PlanResult(results=results, stats=stats)
+            start_index = in_flight["index"]
+            resume_loop = in_flight["loop"]
+            resume_cells = in_flight["cells_before"]
+        else:
+            _emit(
+                sink,
+                PlanStartEvent(
+                    num_queries=len(plan.specs),
+                    queries=plan.names,
+                    population_size=plan.population_size,
+                    marginal_attributes=plan.marginal_attributes,
+                    joint_targets=plan.joint_targets,
+                ),
+            )
+            if self._checkpoint_path is not None:
+                # Plan-start snapshot: even a crash inside the very first
+                # iteration leaves a resumable checkpoint behind.
+                first = plan.specs[0]
+                self._write_checkpoint(
+                    plan=plan,
+                    results=results,
+                    per_query_cells=per_query_cells,
+                    cells_at_start=cells_at_start,
+                    in_flight={
+                        "name": first.name if first.name is not None else "q0",
+                        "index": 0,
+                        "cells_before": self._sampler.cells_scanned,
+                        "loop": None,
+                    },
+                    budget=budget,
+                    started=started,
+                    sink=sink,
+                    metrics=metrics,
+                )
         try:
-            for index, spec in enumerate(plan.specs):
+            for index in range(start_index, len(plan.specs)):
+                spec = plan.specs[index]
                 name = spec.name if spec.name is not None else f"q{index}"
+                resuming = restored is not None and index == start_index
+                cells_before = (
+                    resume_cells
+                    if resuming and resume_cells is not None
+                    else self._sampler.cells_scanned
+                )
                 sub_budget = _remaining_budget(
                     budget, started, cells_at_start, self._sampler
                 )
+                hook: CheckpointHook | None = None
+                if self._checkpoint_path is not None:
+                    hook = self._boundary_hook(
+                        plan=plan,
+                        results=results,
+                        per_query_cells=per_query_cells,
+                        cells_at_start=cells_at_start,
+                        budget=budget,
+                        started=started,
+                        sink=sink,
+                        metrics=metrics,
+                        name=name,
+                        index=index,
+                        cells_before=cells_before,
+                    )
                 try:
                     result = self.execute_one(
                         spec,
@@ -990,6 +1144,9 @@ class PlanExecutor:
                         strict=strict,
                         trace=trace,
                         metrics=metrics,
+                        checkpoint=hook,
+                        resume_state=resume_loop if resuming else None,
+                        cells_before=cells_before if resuming else None,
                     )
                 except QueryInterruptedError as exc:
                     partial = exc.partial
@@ -1004,6 +1161,32 @@ class PlanExecutor:
                 per_query_cells[name] = self._last_cells
                 completed += 1
                 _emit(sink, _retired_event(name, index, result, self._last_cells))
+                if self._checkpoint_path is not None:
+                    if index + 1 < len(plan.specs):
+                        nxt = plan.specs[index + 1]
+                        next_in_flight: dict[str, Any] | None = {
+                            "name": (
+                                nxt.name
+                                if nxt.name is not None
+                                else f"q{index + 1}"
+                            ),
+                            "index": index + 1,
+                            "cells_before": self._sampler.cells_scanned,
+                            "loop": None,
+                        }
+                    else:
+                        next_in_flight = None
+                    self._write_checkpoint(
+                        plan=plan,
+                        results=results,
+                        per_query_cells=per_query_cells,
+                        cells_at_start=cells_at_start,
+                        in_flight=next_in_flight,
+                        budget=budget,
+                        started=started,
+                        sink=sink,
+                        metrics=metrics,
+                    )
         finally:
             stats = PlanStats(
                 queries=len(plan.specs),
@@ -1026,3 +1209,269 @@ class PlanExecutor:
             if metrics is not None:
                 record_plan(metrics, stats=stats)
         return PlanResult(results=results, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Durability: checkpointing and resume (repro.durability.checkpoint
+    # is imported lazily — it sits above this module in the layer graph).
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_path(self) -> Path | None:
+        """Where :meth:`execute` durably snapshots progress (or ``None``)."""
+        return self._checkpoint_path
+
+    @property
+    def boundaries_seen(self) -> int:
+        """Iteration boundaries crossed under checkpointing so far."""
+        return self._boundaries
+
+    def _store_fingerprint(self) -> str:
+        if self._fingerprint is None:
+            from repro.durability.checkpoint import store_fingerprint
+
+            self._fingerprint = store_fingerprint(self._store)
+        return self._fingerprint
+
+    def _boundary_hook(
+        self,
+        *,
+        plan: QueryPlan,
+        results: dict[str, QueryResult],
+        per_query_cells: dict[str, int],
+        cells_at_start: int,
+        budget: QueryBudget | None,
+        started: float,
+        sink: TraceSink | None,
+        metrics: MetricsRegistry | None,
+        name: str,
+        index: int,
+        cells_before: int,
+    ) -> CheckpointHook:
+        """A per-query hook snapshotting every ``checkpoint_every``-th boundary."""
+
+        def hook(state: LoopCheckpoint) -> None:
+            self._boundaries += 1
+            if self._boundaries % self._checkpoint_every != 0:
+                return
+            self._write_checkpoint(
+                plan=plan,
+                results=results,
+                per_query_cells=per_query_cells,
+                cells_at_start=cells_at_start,
+                in_flight={
+                    "name": name,
+                    "index": index,
+                    "cells_before": cells_before,
+                    "loop": state,
+                },
+                budget=budget,
+                started=started,
+                sink=sink,
+                metrics=metrics,
+            )
+
+        return hook
+
+    def _write_checkpoint(
+        self,
+        *,
+        plan: QueryPlan,
+        results: dict[str, QueryResult],
+        per_query_cells: dict[str, int],
+        cells_at_start: int,
+        in_flight: dict[str, Any] | None,
+        budget: QueryBudget | None,
+        started: float,
+        sink: TraceSink | None,
+        metrics: MetricsRegistry | None,
+    ) -> None:
+        from repro.durability import checkpoint as ckpt
+
+        path = self._checkpoint_path
+        if path is None:  # pragma: no cover - callers gate on checkpoint_path
+            return
+        save_started = time.perf_counter()
+        residual = _remaining_budget(budget, started, cells_at_start, self._sampler)
+        residual_payload = None
+        if residual is not None:
+            residual_payload = {
+                "deadline_ms": residual.deadline_ms,
+                "max_cells": residual.max_cells,
+                "max_sample_size": residual.max_sample_size,
+            }
+        completed = len(results)
+        progress: dict[str, Any] = {
+            "results": [
+                {"name": entry_name, "result": ckpt.result_to_payload(entry)}
+                for entry_name, entry in results.items()
+            ],
+            "per_query_cells": dict(per_query_cells),
+            "plan_cells_at_start": cells_at_start,
+            "in_flight": (
+                None
+                if in_flight is None
+                else {
+                    "name": in_flight["name"],
+                    "index": in_flight["index"],
+                    "cells_before": in_flight["cells_before"],
+                    "loop": (
+                        None
+                        if in_flight["loop"] is None
+                        else ckpt.loop_state_to_payload(in_flight["loop"])
+                    ),
+                }
+            ),
+            "residual_budget": residual_payload,
+        }
+        snapshot = ckpt.PlanCheckpoint(
+            dataset={
+                "fingerprint": self._store_fingerprint(),
+                "num_rows": self._store.num_rows,
+            },
+            executor={
+                "failure_probability": self._failure,
+                "sample_floor": self._floor,
+                "queries_run": self._queries_run,
+                "boundaries_seen": self._boundaries,
+                "checkpoint_every": self._checkpoint_every,
+            },
+            sampler=ckpt.encode_sampler_state(self._sampler.state_snapshot()),
+            specs=[asdict(spec) for spec in plan.specs],
+            progress=progress,
+        )
+        payload_bytes = ckpt.save_checkpoint(snapshot, path)
+        if metrics is not None:
+            record_checkpoint(
+                metrics,
+                payload_bytes=payload_bytes,
+                seconds=time.perf_counter() - save_started,
+            )
+        _emit(
+            sink,
+            CheckpointSavedEvent(
+                boundary=self._boundaries,
+                queries_completed=completed,
+                query=None if in_flight is None else in_flight["name"],
+            ),
+        )
+
+    def _check_resumed_plan(
+        self, plan: QueryPlan, specs: tuple[QuerySpec, ...]
+    ) -> None:
+        if tuple(plan.specs) != tuple(specs):
+            raise CheckpointMismatchError(
+                "checkpoint was written for a different plan; resume must"
+                " re-execute the same specs (use resumed_plan() to recover"
+                " them from the checkpoint)"
+            )
+
+    def resumed_plan(self) -> QueryPlan:
+        """The plan the loaded checkpoint belongs to (resume-built only).
+
+        Only available on an executor built by :meth:`resume`, before
+        its :meth:`execute` call consumes the restored state — pass the
+        returned plan straight to :meth:`execute`.
+        """
+        if self._restored is None:
+            raise ParameterError(
+                "resumed_plan() needs an executor built by"
+                " PlanExecutor.resume() whose execute() has not run yet"
+            )
+        return plan_queries(self._store, list(self._restored["specs"]))
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        store: ColumnStore,
+        *,
+        backend: str | CountingBackend | None = None,
+        trace: TraceSink | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> "PlanExecutor":
+        """Rebuild a mid-plan executor from a checkpoint file.
+
+        The checkpoint is verified (format, schema version, sha256,
+        dataset fingerprint against ``store``) and the shared sampler is
+        reconstructed with its exact permutation, prefix position, and
+        every marginal/joint counter; the next :meth:`execute` call on
+        the returned executor restarts the plan at the last checkpointed
+        iteration boundary and produces answers bit-identical to an
+        uninterrupted run. ``trace``/``metrics`` are fresh run-scoped
+        settings (event streams are not replayed); the residual plan
+        budget recorded at checkpoint time becomes the executor default.
+        """
+        from repro.durability import checkpoint as ckpt
+
+        snapshot = ckpt.load_checkpoint(path, store=store)
+        try:
+            executor_state = snapshot.executor
+            failure = float(executor_state["failure_probability"])
+            floor = int(executor_state["sample_floor"])
+            queries_run = int(executor_state["queries_run"])
+            boundaries = int(executor_state["boundaries_seen"])
+            every = int(executor_state["checkpoint_every"])
+            specs = tuple(
+                QuerySpec(**payload) for payload in snapshot.specs
+            )
+            progress = snapshot.progress
+            restored_results = [
+                (str(entry["name"]), ckpt.result_from_payload(entry["result"]))
+                for entry in progress["results"]
+            ]
+            per_query_cells = {
+                str(key): int(value)
+                for key, value in progress["per_query_cells"].items()
+            }
+            plan_cells_at_start = int(progress["plan_cells_at_start"])
+            raw_in_flight = progress["in_flight"]
+            in_flight: dict[str, Any] | None = None
+            if raw_in_flight is not None:
+                raw_loop = raw_in_flight["loop"]
+                in_flight = {
+                    "name": str(raw_in_flight["name"]),
+                    "index": int(raw_in_flight["index"]),
+                    "cells_before": int(raw_in_flight["cells_before"]),
+                    "loop": (
+                        None
+                        if raw_loop is None
+                        else ckpt.loop_state_from_payload(raw_loop)
+                    ),
+                }
+            residual_payload = progress["residual_budget"]
+            budget = None
+            if residual_payload is not None:
+                budget = QueryBudget(
+                    deadline_ms=residual_payload["deadline_ms"],
+                    max_cells=residual_payload["max_cells"],
+                    max_sample_size=residual_payload["max_sample_size"],
+                )
+            sampler_state = ckpt.decode_sampler_state(snapshot.sampler)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} has a malformed payload: {exc}"
+            ) from exc
+        executor = cls(
+            store,
+            sequential=True,  # placeholder sampler; replaced from state below
+            failure_probability=failure,
+            budget=budget,
+            trace=trace,
+            metrics=metrics,
+            checkpoint_path=path,
+            checkpoint_every=every,
+        )
+        executor._sampler = PrefixSampler.from_state(
+            store, sampler_state, retain=True, backend=backend
+        )
+        executor._floor = floor
+        executor._queries_run = queries_run
+        executor._boundaries = boundaries
+        executor._fingerprint = snapshot.dataset.get("fingerprint")
+        executor._restored = {
+            "specs": specs,
+            "results": restored_results,
+            "per_query_cells": per_query_cells,
+            "plan_cells_at_start": plan_cells_at_start,
+            "in_flight": in_flight,
+        }
+        return executor

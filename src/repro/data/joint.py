@@ -129,6 +129,70 @@ class JointCounter:
         assert self._sparse is not None
         return len(self._sparse)
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing substrate)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """In-memory state snapshot for checkpointing.
+
+        Arrays are returned live for the dense form and materialised as
+        parallel code/count arrays for the sparse form; the caller
+        (:mod:`repro.durability.checkpoint`) owns serialisation. The
+        returned arrays must not be mutated.
+        """
+        state: dict[str, object] = {
+            "support_first": self._u1,
+            "support_second": self._u2,
+            "total": self._total,
+        }
+        if self._dense is not None:
+            state["dense"] = self._dense
+        else:
+            assert self._sparse is not None
+            codes = np.fromiter(
+                self._sparse.keys(), dtype=np.int64, count=len(self._sparse)
+            )
+            counts = np.fromiter(
+                self._sparse.values(), dtype=np.int64, count=len(self._sparse)
+            )
+            state["sparse_codes"] = codes
+            state["sparse_counts"] = counts
+        return state
+
+    @classmethod
+    def from_snapshot(cls, state: dict[str, object]) -> "JointCounter":
+        """Rebuild a counter from a :meth:`snapshot` state.
+
+        The storage form (dense vs. sparse) is taken from the snapshot
+        itself, not re-derived from :data:`DENSE_LIMIT`, so a counter
+        round-trips bit-identically even if the limit changes.
+        """
+        u1 = int(state["support_first"])  # type: ignore[arg-type]
+        u2 = int(state["support_second"])  # type: ignore[arg-type]
+        counter = cls(u1, u2, dense_limit=0)  # start sparse; overwrite below
+        dense = state.get("dense")
+        if dense is not None:
+            arr = np.asarray(dense, dtype=np.int64)
+            if arr.shape != (u1 * u2,):
+                raise ParameterError(
+                    f"dense joint snapshot has shape {arr.shape}, expected"
+                    f" ({u1 * u2},)"
+                )
+            counter._dense = arr.copy()
+            counter._sparse = None
+        else:
+            codes = np.asarray(state["sparse_codes"], dtype=np.int64)
+            counts = np.asarray(state["sparse_counts"], dtype=np.int64)
+            if codes.shape != counts.shape:
+                raise ParameterError(
+                    "sparse joint snapshot has mismatched codes/counts shapes"
+                    f" {codes.shape} vs {counts.shape}"
+                )
+            counter._dense = None
+            counter._sparse = dict(zip(codes.tolist(), counts.tolist()))
+        counter._total = int(state["total"])  # type: ignore[arg-type]
+        return counter
+
     def count_of(self, first_value: int, second_value: int) -> int:
         """Return the count of one specific pair (mainly for tests)."""
         if not (0 <= first_value < self._u1 and 0 <= second_value < self._u2):

@@ -151,6 +151,116 @@ class PrefixSampler:
         entry = self._marginals.get(name)
         return entry[0] if entry is not None else 0
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (checkpointing substrate)
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict[str, object]:
+        """In-memory snapshot of the sampler's resumable state.
+
+        Captures everything a resumed process needs to continue the scan
+        bit-identically: the shuffle itself (``None`` in sequential
+        mode), every marginal counter with its counted prefix, every
+        joint counter (via :meth:`~repro.data.joint.JointCounter.snapshot`),
+        and the cumulative ``cells_scanned`` meter, which downstream
+        stats and trace events are derived from. Arrays are returned
+        live; serialisation belongs to
+        :mod:`repro.durability.checkpoint`. The returned structures must
+        not be mutated.
+        """
+        return {
+            "num_rows": self._n,
+            "sequential": self._perm is None,
+            "permutation": self._perm,
+            "cells_scanned": self._cells_scanned,
+            "marginals": {
+                name: {"counted": counted, "counts": counts}
+                for name, (counted, counts) in self._marginals.items()
+            },
+            "joints": [
+                {
+                    "first": key[0],
+                    "second": key[1],
+                    "counted": counted,
+                    "counter": counter.snapshot(),
+                }
+                for key, (counted, counter) in self._joints.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        store: ColumnStore,
+        state: dict[str, object],
+        *,
+        retain: bool = True,
+        backend: str | CountingBackend | None = None,
+    ) -> "PrefixSampler":
+        """Rebuild a sampler over ``store`` from a :meth:`state_snapshot`.
+
+        The restored sampler continues the scan exactly where the
+        snapshot left it: same shuffle, same counted prefixes, same
+        ``cells_scanned`` meter. Structural mismatches against ``store``
+        (row count, counter lengths vs. support sizes, out-of-range
+        prefixes) raise :class:`~repro.exceptions.ParameterError` — the
+        checkpoint layer's dataset fingerprint should make these
+        unreachable, so they guard against hand-edited state only.
+        """
+        num_rows = int(state["num_rows"])  # type: ignore[arg-type]
+        if num_rows != store.num_rows:
+            raise ParameterError(
+                f"sampler snapshot covers {num_rows} rows but the store has"
+                f" {store.num_rows}"
+            )
+        sequential = bool(state["sequential"])
+        sampler = cls(store, sequential=True, retain=retain, backend=backend)
+        if not sequential:
+            perm = np.asarray(state["permutation"], dtype=np.int64)
+            if perm.shape != (num_rows,):
+                raise ParameterError(
+                    f"snapshot permutation has shape {perm.shape}, expected"
+                    f" ({num_rows},)"
+                )
+            sampler._perm = perm
+        marginals = state["marginals"]
+        assert isinstance(marginals, dict)
+        for name, entry in marginals.items():
+            if name not in store:
+                raise SchemaError(f"snapshot counts unknown attribute {name!r}")
+            counted = int(entry["counted"])
+            counts = np.asarray(entry["counts"], dtype=np.int64)
+            support = store.support_size(name)
+            if counts.shape != (support,):
+                raise ParameterError(
+                    f"marginal snapshot for {name!r} has shape {counts.shape},"
+                    f" expected ({support},)"
+                )
+            if not 0 <= counted <= num_rows:
+                raise ParameterError(
+                    f"marginal snapshot for {name!r} counts {counted} rows,"
+                    f" outside [0, {num_rows}]"
+                )
+            sampler._marginals[name] = (counted, counts.copy())
+        joints = state["joints"]
+        assert isinstance(joints, list)
+        for entry in joints:
+            first, second = str(entry["first"]), str(entry["second"])
+            if first not in store or second not in store:
+                raise SchemaError(
+                    f"snapshot counts unknown attribute pair ({first!r},"
+                    f" {second!r})"
+                )
+            counted = int(entry["counted"])
+            if not 0 <= counted <= num_rows:
+                raise ParameterError(
+                    f"joint snapshot for ({first!r}, {second!r}) counts"
+                    f" {counted} rows, outside [0, {num_rows}]"
+                )
+            counter = JointCounter.from_snapshot(entry["counter"])
+            sampler._joints[(first, second)] = (counted, counter)
+        sampler._cells_scanned = int(state["cells_scanned"])  # type: ignore[arg-type]
+        return sampler
+
     def shuffled_prefix(self, num_rows: int) -> np.ndarray:
         """Return the row indices making up the first ``num_rows`` samples."""
         self._check_prefix(num_rows)

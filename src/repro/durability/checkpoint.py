@@ -1,0 +1,556 @@
+"""Versioned, fingerprint-keyed checkpoints of plan-executor progress.
+
+A :class:`~repro.core.plan.PlanExecutor` run is deterministic at a fixed
+seed: the sample is a prefix of one shuffle, counters only grow, and
+every trace event is derived from counter state — so a snapshot of
+(shuffle, counters, retired answers, loop position) is enough to restart
+a killed plan and produce *bit-identical* final answers. This module
+owns that snapshot's on-disk form:
+
+* a single JSON document (``{"format", "schema_version", "sha256",
+  "payload"}``) written through
+  :func:`repro.durability.atomic.atomic_write_text`, so a crash during a
+  save leaves the previous checkpoint intact;
+* arrays encoded as base64(zlib(raw bytes)) with dtype and shape, so the
+  restored counters are byte-for-byte the saved ones;
+* a sha256 over the canonical payload serialization, verified on load —
+  a truncated or hand-edited file raises
+  :class:`~repro.exceptions.CheckpointError` instead of resuming from
+  garbage;
+* a schema version and a dataset fingerprint (sha256 over row count,
+  attribute names, support sizes, and raw column bytes); loading against
+  a different code version or a different dataset raises
+  :class:`~repro.exceptions.CheckpointMismatchError` — the counters of a
+  snapshot describe exactly one dataset, so "best effort" loading would
+  silently produce wrong answers.
+
+The version policy (see ``docs/RESILIENCE.md``): any change to the
+payload layout, to what the executor snapshots, or to the engine's
+iteration-boundary semantics bumps :data:`CHECKPOINT_SCHEMA_VERSION`.
+Old checkpoints are then refused, never migrated — a checkpoint is a
+crash-recovery artifact with the lifetime of one plan run, not an
+archive format.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from repro.core.engine import LoopCheckpoint
+from repro.core.results import (
+    AttributeEstimate,
+    FilterResult,
+    GuaranteeStatus,
+    RunStats,
+    TopKResult,
+)
+from repro.data.column_store import ColumnStore
+from repro.durability.atomic import atomic_write_text
+from repro.exceptions import CheckpointError, CheckpointMismatchError
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "PlanCheckpoint",
+    "decode_sampler_state",
+    "encode_sampler_state",
+    "load_checkpoint",
+    "loop_state_from_payload",
+    "loop_state_to_payload",
+    "result_from_payload",
+    "result_to_payload",
+    "save_checkpoint",
+    "store_fingerprint",
+]
+
+#: Discriminator in the envelope; a file without it is not a checkpoint.
+CHECKPOINT_FORMAT = "repro-plan-checkpoint"
+
+#: Bumped on any change to the payload layout or resume semantics;
+#: mismatching files are refused, never migrated.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_PAYLOAD_KEYS = ("dataset", "executor", "sampler", "specs", "progress")
+
+
+# ----------------------------------------------------------------------
+# Dataset fingerprint
+# ----------------------------------------------------------------------
+def store_fingerprint(store: ColumnStore) -> str:
+    """sha256 identity of a dataset: rows, names, supports, column bytes.
+
+    Two stores with the same fingerprint produce identical counters for
+    every prefix, which is exactly the property resuming needs. The
+    fingerprint deliberately covers the *encoded* columns — re-encoding
+    the same raw data differently changes every counter, so it must
+    change the fingerprint too.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"rows:{store.num_rows}\n".encode("utf-8"))
+    for name in store.attributes:
+        column = np.ascontiguousarray(store.column(name))
+        digest.update(
+            f"col:{name}:{store.support_size(name)}:{column.dtype.str}\n".encode(
+                "utf-8"
+            )
+        )
+        digest.update(column.tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Array and counter-state codecs
+# ----------------------------------------------------------------------
+def _encode_array(arr: np.ndarray) -> dict[str, Any]:
+    data = np.ascontiguousarray(arr)
+    return {
+        "dtype": data.dtype.str,
+        "shape": list(data.shape),
+        "data": base64.b64encode(zlib.compress(data.tobytes())).decode("ascii"),
+    }
+
+
+def _decode_array(payload: Any) -> np.ndarray:
+    try:
+        raw = zlib.decompress(base64.b64decode(payload["data"]))
+        arr = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+        arr = arr.reshape([int(d) for d in payload["shape"]])
+    except (KeyError, TypeError, ValueError, zlib.error) as exc:
+        raise CheckpointError(f"corrupt array payload in checkpoint: {exc}") from exc
+    return arr.copy()  # frombuffer is read-only; counters must be writable
+
+
+def _encode_joint(snapshot: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "support_first": int(snapshot["support_first"]),
+        "support_second": int(snapshot["support_second"]),
+        "total": int(snapshot["total"]),
+    }
+    if "dense" in snapshot:
+        out["dense"] = _encode_array(snapshot["dense"])
+    else:
+        out["sparse_codes"] = _encode_array(snapshot["sparse_codes"])
+        out["sparse_counts"] = _encode_array(snapshot["sparse_counts"])
+    return out
+
+
+def _decode_joint(payload: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "support_first": int(payload["support_first"]),
+        "support_second": int(payload["support_second"]),
+        "total": int(payload["total"]),
+    }
+    if "dense" in payload:
+        out["dense"] = _decode_array(payload["dense"])
+    else:
+        out["sparse_codes"] = _decode_array(payload["sparse_codes"])
+        out["sparse_counts"] = _decode_array(payload["sparse_counts"])
+    return out
+
+
+def encode_sampler_state(state: dict[str, Any]) -> dict[str, Any]:
+    """JSON-ready form of :meth:`~repro.data.sampling.PrefixSampler.state_snapshot`."""
+    permutation = state["permutation"]
+    marginals = state["marginals"]
+    assert isinstance(marginals, dict)
+    return {
+        "num_rows": int(state["num_rows"]),
+        "sequential": bool(state["sequential"]),
+        "permutation": None if permutation is None else _encode_array(permutation),
+        "cells_scanned": int(state["cells_scanned"]),
+        "marginals": {
+            name: {
+                "counted": int(entry["counted"]),
+                "counts": _encode_array(entry["counts"]),
+            }
+            for name, entry in marginals.items()
+        },
+        "joints": [
+            {
+                "first": entry["first"],
+                "second": entry["second"],
+                "counted": int(entry["counted"]),
+                "counter": _encode_joint(entry["counter"]),
+            }
+            for entry in state["joints"]
+        ],
+    }
+
+
+def decode_sampler_state(payload: dict[str, Any]) -> dict[str, Any]:
+    """Live-array form :meth:`~repro.data.sampling.PrefixSampler.from_state` takes."""
+    try:
+        permutation = payload["permutation"]
+        return {
+            "num_rows": int(payload["num_rows"]),
+            "sequential": bool(payload["sequential"]),
+            "permutation": (
+                None if permutation is None else _decode_array(permutation)
+            ),
+            "cells_scanned": int(payload["cells_scanned"]),
+            "marginals": {
+                name: {
+                    "counted": int(entry["counted"]),
+                    "counts": _decode_array(entry["counts"]),
+                }
+                for name, entry in payload["marginals"].items()
+            },
+            "joints": [
+                {
+                    "first": str(entry["first"]),
+                    "second": str(entry["second"]),
+                    "counted": int(entry["counted"]),
+                    "counter": _decode_joint(entry["counter"]),
+                }
+                for entry in payload["joints"]
+            ],
+        }
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise CheckpointError(
+            f"corrupt sampler state in checkpoint: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Result / loop-state codecs
+# ----------------------------------------------------------------------
+def _estimate_to_payload(estimate: AttributeEstimate) -> dict[str, Any]:
+    return {
+        "attribute": estimate.attribute,
+        "estimate": estimate.estimate,
+        "lower": estimate.lower,
+        "upper": estimate.upper,
+        "sample_size": estimate.sample_size,
+    }
+
+
+def _estimate_from_payload(payload: dict[str, Any]) -> AttributeEstimate:
+    return AttributeEstimate(
+        attribute=str(payload["attribute"]),
+        estimate=float(payload["estimate"]),
+        lower=float(payload["lower"]),
+        upper=float(payload["upper"]),
+        sample_size=int(payload["sample_size"]),
+    )
+
+
+def _guarantee_to_payload(guarantee: GuaranteeStatus | None) -> dict[str, Any] | None:
+    if guarantee is None:
+        return None
+    return {
+        "guarantee_met": guarantee.guarantee_met,
+        "stopping_reason": guarantee.stopping_reason,
+        "requested_epsilon": guarantee.requested_epsilon,
+        "achieved_epsilon": guarantee.achieved_epsilon,
+        "undecided": list(guarantee.undecided),
+    }
+
+
+def _guarantee_from_payload(payload: dict[str, Any] | None) -> GuaranteeStatus | None:
+    if payload is None:
+        return None
+    return GuaranteeStatus(
+        guarantee_met=bool(payload["guarantee_met"]),
+        stopping_reason=str(payload["stopping_reason"]),
+        requested_epsilon=float(payload["requested_epsilon"]),
+        achieved_epsilon=float(payload["achieved_epsilon"]),
+        undecided=tuple(payload["undecided"]),
+    )
+
+
+def _stats_to_payload(stats: RunStats) -> dict[str, Any]:
+    return {
+        "iterations": stats.iterations,
+        "final_sample_size": stats.final_sample_size,
+        "population_size": stats.population_size,
+        "cells_scanned": stats.cells_scanned,
+        "wall_seconds": stats.wall_seconds,
+        "candidates_pruned": stats.candidates_pruned,
+        "counting_seconds": stats.counting_seconds,
+        "bounds_seconds": stats.bounds_seconds,
+        "trace_event_count": stats.trace_event_count,
+    }
+
+
+def _stats_from_payload(payload: dict[str, Any]) -> RunStats:
+    return RunStats(
+        iterations=int(payload["iterations"]),
+        final_sample_size=int(payload["final_sample_size"]),
+        population_size=int(payload["population_size"]),
+        cells_scanned=int(payload["cells_scanned"]),
+        wall_seconds=float(payload["wall_seconds"]),
+        candidates_pruned=int(payload["candidates_pruned"]),
+        counting_seconds=float(payload["counting_seconds"]),
+        bounds_seconds=float(payload["bounds_seconds"]),
+        trace_event_count=int(payload["trace_event_count"]),
+    )
+
+
+def result_to_payload(result: Union[TopKResult, FilterResult]) -> dict[str, Any]:
+    """JSON-ready form of a retired query result, round-tripping exactly.
+
+    JSON floats serialize via ``repr`` and parse back to the identical
+    double, so the restored estimates sort and compare exactly as the
+    originals — load-bearing for bit-identical resumed answers.
+    """
+    if isinstance(result, TopKResult):
+        return {
+            "type": "top_k",
+            "attributes": list(result.attributes),
+            "estimates": [_estimate_to_payload(e) for e in result.estimates],
+            "stats": _stats_to_payload(result.stats),
+            "k": result.k,
+            "target": result.target,
+            "guarantee": _guarantee_to_payload(result.guarantee),
+        }
+    if isinstance(result, FilterResult):
+        return {
+            "type": "filter",
+            "attributes": list(result.attributes),
+            # A list, not a mapping: FilterResult.estimates is keyed by
+            # name but its insertion order (decision order) must survive.
+            "estimates": [
+                _estimate_to_payload(result.estimates[name])
+                for name in result.estimates
+            ],
+            "stats": _stats_to_payload(result.stats),
+            "threshold": result.threshold,
+            "target": result.target,
+            "guarantee": _guarantee_to_payload(result.guarantee),
+        }
+    raise CheckpointError(
+        f"cannot checkpoint result of type {type(result).__name__}"
+    )
+
+
+def result_from_payload(payload: dict[str, Any]) -> Union[TopKResult, FilterResult]:
+    """Rebuild a retired result from :func:`result_to_payload`."""
+    try:
+        kind = payload["type"]
+        if kind == "top_k":
+            return TopKResult(
+                attributes=[str(a) for a in payload["attributes"]],
+                estimates=[_estimate_from_payload(e) for e in payload["estimates"]],
+                stats=_stats_from_payload(payload["stats"]),
+                k=int(payload["k"]),
+                target=payload["target"],
+                guarantee=_guarantee_from_payload(payload["guarantee"]),
+            )
+        if kind == "filter":
+            estimates = [_estimate_from_payload(e) for e in payload["estimates"]]
+            return FilterResult(
+                attributes=[str(a) for a in payload["attributes"]],
+                estimates={e.attribute: e for e in estimates},
+                stats=_stats_from_payload(payload["stats"]),
+                threshold=float(payload["threshold"]),
+                target=payload["target"],
+                guarantee=_guarantee_from_payload(payload["guarantee"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"corrupt result payload in checkpoint: {exc}"
+        ) from exc
+    raise CheckpointError(f"unknown result type {kind!r} in checkpoint")
+
+
+def loop_state_to_payload(state: LoopCheckpoint) -> dict[str, Any]:
+    """JSON-ready form of an engine :class:`~repro.core.engine.LoopCheckpoint`."""
+    return {
+        "kind": state.kind,
+        "next_index": state.next_index,
+        "iterations": state.iterations,
+        "live": list(state.live),
+        "pruned": state.pruned,
+        "included": list(state.included),
+        "estimates": [_estimate_to_payload(e) for e in state.estimates],
+    }
+
+
+def loop_state_from_payload(payload: dict[str, Any]) -> LoopCheckpoint:
+    """Rebuild a :class:`~repro.core.engine.LoopCheckpoint` from its payload."""
+    try:
+        return LoopCheckpoint(
+            kind=str(payload["kind"]),
+            next_index=int(payload["next_index"]),
+            iterations=int(payload["iterations"]),
+            live=tuple(str(a) for a in payload["live"]),
+            pruned=int(payload["pruned"]),
+            included=tuple(str(a) for a in payload["included"]),
+            estimates=tuple(
+                _estimate_from_payload(e) for e in payload["estimates"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"corrupt loop state in checkpoint: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Envelope
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanCheckpoint:
+    """One plan-executor snapshot, as five JSON-ready sections.
+
+    The sections are exactly what :meth:`repro.core.plan.PlanExecutor`
+    needs to restart mid-plan:
+
+    * ``dataset`` — ``{"fingerprint", "num_rows"}`` identity of the
+      store the counters describe;
+    * ``executor`` — failure probability, ratcheted sample floor,
+      queries run, iteration boundaries seen, checkpoint cadence;
+    * ``sampler`` — the encoded shuffle and every counter
+      (:func:`encode_sampler_state`);
+    * ``specs`` — the normalized plan specs, so resuming against a
+      different plan is refused;
+    * ``progress`` — retired results (with their
+      :class:`~repro.core.results.GuaranteeStatus`), per-query cell
+      accounting, the in-flight query's loop state, and the residual
+      plan budget.
+    """
+
+    dataset: dict[str, Any]
+    executor: dict[str, Any]
+    sampler: dict[str, Any]
+    specs: list[dict[str, Any]]
+    progress: dict[str, Any]
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+    def verify_store(self, store: ColumnStore) -> None:
+        """Refuse this checkpoint against a dataset it does not describe."""
+        num_rows = self.dataset.get("num_rows")
+        if num_rows != store.num_rows:
+            raise CheckpointMismatchError(
+                f"checkpoint covers {num_rows} rows but the store has"
+                f" {store.num_rows}"
+            )
+        expected = self.dataset.get("fingerprint")
+        actual = store_fingerprint(store)
+        if expected != actual:
+            raise CheckpointMismatchError(
+                "checkpoint dataset fingerprint does not match this store"
+                f" (checkpoint {str(expected)[:12]}..., store {actual[:12]}...);"
+                " refusing to resume against different data"
+            )
+
+
+def _json_default(obj: object) -> object:
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    # json.dumps requires its default= hook to raise TypeError, not a
+    # repro error, to signal "cannot serialize".
+    raise TypeError(  # noqa: SWP007
+        f"checkpoint payload contains non-serializable {type(obj)!r}"
+    )
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    """The one serialization the sha256 is computed over, save and load."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+
+
+def save_checkpoint(checkpoint: PlanCheckpoint, path: Union[str, Path]) -> int:
+    """Atomically write ``checkpoint`` to ``path``; return bytes written.
+
+    The destination only ever holds a complete, verified-on-load
+    document: the write goes through
+    :func:`repro.durability.atomic.atomic_write_text`, and the sha256 in
+    the envelope covers the canonical payload serialization.
+    """
+    payload = {
+        "dataset": checkpoint.dataset,
+        "executor": checkpoint.executor,
+        "sampler": checkpoint.sampler,
+        "specs": checkpoint.specs,
+        "progress": checkpoint.progress,
+    }
+    canonical = _canonical(payload)
+    envelope = {
+        "format": CHECKPOINT_FORMAT,
+        "schema_version": checkpoint.schema_version,
+        "sha256": hashlib.sha256(canonical.encode("utf-8")).hexdigest(),
+        "payload": payload,
+    }
+    text = json.dumps(
+        envelope, sort_keys=True, separators=(",", ":"), default=_json_default
+    )
+    atomic_write_text(path, text)
+    return len(text.encode("utf-8"))
+
+
+def load_checkpoint(
+    path: Union[str, Path], *, store: ColumnStore | None = None
+) -> PlanCheckpoint:
+    """Load and verify a checkpoint written by :func:`save_checkpoint`.
+
+    Verification order: file readability and JSON shape, format marker,
+    schema version (:class:`~repro.exceptions.CheckpointMismatchError`),
+    sha256 integrity over the canonical payload
+    (:class:`~repro.exceptions.CheckpointError` — e.g. a file truncated
+    by a crash that bypassed the atomic writer), payload structure, and
+    finally — when ``store`` is given — the dataset fingerprint
+    (:class:`~repro.exceptions.CheckpointMismatchError`).
+    """
+    target = Path(path)
+    try:
+        text = target.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {target}: {exc}") from exc
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint {target} is not valid JSON ({exc}); the file is"
+            " corrupt or was written without the atomic writer"
+        ) from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{target} is not a {CHECKPOINT_FORMAT!r} file"
+        )
+    version = envelope.get("schema_version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointMismatchError(
+            f"checkpoint {target} has schema version {version!r}; this build"
+            f" reads only version {CHECKPOINT_SCHEMA_VERSION} and never"
+            " migrates old checkpoints — rerun the plan from the start"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"checkpoint {target} has no payload object")
+    digest = hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+    if digest != envelope.get("sha256"):
+        raise CheckpointError(
+            f"checkpoint {target} failed its sha256 integrity check;"
+            " refusing to resume from a corrupt snapshot"
+        )
+    missing = [key for key in _PAYLOAD_KEYS if key not in payload]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {target} payload is missing sections: {missing}"
+        )
+    if not isinstance(payload["specs"], list):
+        raise CheckpointError(f"checkpoint {target} has a malformed spec list")
+    checkpoint = PlanCheckpoint(
+        dataset=payload["dataset"],
+        executor=payload["executor"],
+        sampler=payload["sampler"],
+        specs=payload["specs"],
+        progress=payload["progress"],
+        schema_version=int(version),
+    )
+    if store is not None:
+        checkpoint.verify_store(store)
+    return checkpoint

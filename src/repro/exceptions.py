@@ -73,6 +73,28 @@ class AnalysisError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """A plan checkpoint could not be written, read, or verified.
+
+    Raised by :mod:`repro.durability.checkpoint` when a checkpoint file
+    is missing, is not valid JSON, fails its sha256 integrity check
+    (e.g. truncated by a crash that bypassed the atomic writer), or
+    carries structurally invalid state.
+    """
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint refuses to load against this code or dataset.
+
+    Two cases: the file's schema version differs from
+    :data:`repro.durability.checkpoint.CHECKPOINT_SCHEMA_VERSION`, or
+    its dataset fingerprint does not match the store it is being resumed
+    against. Both mean the snapshot's counters cannot be trusted to
+    describe the data at hand, so loading is refused rather than
+    degraded.
+    """
+
+
 class QueryInterruptedError(ReproError):
     """A query stopped before its stopping rule fired (strict mode only).
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.durability.atomic import atomic_write_text
 from repro.exceptions import DataFormatError
 from repro.experiments.figures import FIGURES, FigurePoint, FigureRun
 
@@ -41,7 +42,7 @@ def save_figure_run(run: FigureRun, path: str | Path) -> None:
             for p in run.points
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=1))
+    atomic_write_text(Path(path), json.dumps(payload, indent=1))
 
 
 def load_figure_run(path: str | Path) -> FigureRun:

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from pathlib import Path
 
+from repro.durability.atomic import atomic_write_text
 from repro.exceptions import ParameterError
 from repro.experiments.figures import FigureRun
 
@@ -235,4 +236,4 @@ def figure_svg(run: FigureRun, metric: str = "seconds") -> str:
 
 def save_figure_svg(run: FigureRun, path: str | Path, metric: str = "seconds") -> None:
     """Write :func:`figure_svg` output to ``path``."""
-    Path(path).write_text(figure_svg(run, metric))
+    atomic_write_text(Path(path), figure_svg(run, metric))

@@ -6,7 +6,8 @@ Three layers (see ``docs/OBSERVABILITY.md``):
   events the adaptive loops emit (``query_start``, ``iteration``,
   ``prune``, ``budget_degradation``, ``query_end``) plus the
   plan-level events the shared-scan executor adds (``plan_start``,
-  ``query_retired``, ``plan_end``);
+  ``query_retired``, ``plan_end``) and the durability events of
+  checkpointing/resumed runs (``checkpoint_saved``, ``plan_resumed``);
 * :mod:`repro.obs.sinks` — where the event stream goes
   (:class:`NullSink` disabled default, :class:`InMemorySink`,
   :class:`JsonlSink` with byte-stable serialisation);
@@ -28,8 +29,10 @@ from repro.obs.events import (
     EVENT_KINDS,
     TRACE_SCHEMA_VERSION,
     BudgetDegradationEvent,
+    CheckpointSavedEvent,
     IterationEvent,
     PlanEndEvent,
+    PlanResumedEvent,
     PlanStartEvent,
     PruneEvent,
     QueryEndEvent,
@@ -45,8 +48,10 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     global_registry,
+    record_checkpoint,
     record_plan,
     record_query,
+    record_resume,
     reset_global_registry,
 )
 from repro.obs.sinks import (
@@ -61,6 +66,7 @@ __all__ = [
     "EVENT_KINDS",
     "TRACE_SCHEMA_VERSION",
     "BudgetDegradationEvent",
+    "CheckpointSavedEvent",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
@@ -71,6 +77,7 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "PlanEndEvent",
+    "PlanResumedEvent",
     "PlanStartEvent",
     "PruneEvent",
     "QueryEndEvent",
@@ -80,8 +87,10 @@ __all__ = [
     "TraceSink",
     "global_registry",
     "header_record",
+    "record_checkpoint",
     "record_plan",
     "record_query",
+    "record_resume",
     "reset_global_registry",
     "serialize_event",
 ]

@@ -35,6 +35,8 @@ __all__ = [
     "PlanStartEvent",
     "QueryRetiredEvent",
     "PlanEndEvent",
+    "CheckpointSavedEvent",
+    "PlanResumedEvent",
     "header_record",
 ]
 
@@ -42,7 +44,9 @@ __all__ = [
 #: regenerate the golden traces in the same commit.
 #: v2: plan-level events (``plan_start``/``query_retired``/``plan_end``)
 #: emitted by :class:`repro.core.plan.PlanExecutor`.
-TRACE_SCHEMA_VERSION = 2
+#: v3: durability events (``checkpoint_saved``/``plan_resumed``) emitted
+#: by checkpointing/resumed plan runs.
+TRACE_SCHEMA_VERSION = 3
 
 #: Every ``event`` discriminator the schema admits (header excluded).
 #: ``scripts/check_trace_schema.py`` validates golden traces against it.
@@ -55,6 +59,8 @@ EVENT_KINDS = (
     "plan_start",
     "query_retired",
     "plan_end",
+    "checkpoint_saved",
+    "plan_resumed",
 )
 
 
@@ -230,6 +236,48 @@ class PlanEndEvent(TraceEvent):
     total_queries: int
     cells_scanned: int
     sample_floor: int
+
+
+@dataclass(frozen=True)
+class CheckpointSavedEvent(TraceEvent):
+    """A plan checkpoint was durably written (atomic write-rename).
+
+    Deterministic like every trace event: ``boundary`` is the global
+    iteration-boundary counter of the executor (it survives resume, so a
+    resumed run's cadence continues the original's), ``query`` names the
+    in-flight query (``None`` for the plan-start and plan-completion
+    checkpoints). Payload size and save latency are wall-clock-adjacent
+    and go to the metrics layer
+    (:func:`repro.obs.metrics.record_checkpoint`), not here.
+    """
+
+    event: ClassVar[str] = "checkpoint_saved"
+
+    boundary: int
+    queries_completed: int
+    query: str | None = None
+
+
+@dataclass(frozen=True)
+class PlanResumedEvent(TraceEvent):
+    """A plan run restarted from a checkpoint instead of from scratch.
+
+    Emitted once, directly after the header of the resumed run's trace —
+    the counterpart of :class:`PlanStartEvent`, which a resumed run does
+    *not* re-emit (the interrupted run already emitted it). ``boundary``
+    is the iteration-boundary counter at the restored snapshot;
+    ``query`` the in-flight query the run continues with (``None`` when
+    the checkpoint captured a completed plan).
+    """
+
+    event: ClassVar[str] = "plan_resumed"
+
+    queries_completed: int
+    total_queries: int
+    boundary: int
+    sample_floor: int
+    population_size: int
+    query: str | None = None
 
 
 @dataclass(frozen=True)

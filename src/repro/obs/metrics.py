@@ -45,8 +45,10 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "reset_global_registry",
+    "record_checkpoint",
     "record_plan",
     "record_query",
+    "record_resume",
 ]
 
 #: Prometheus-style latency buckets (seconds), log-spaced for query work.
@@ -405,3 +407,34 @@ def record_plan(registry: MetricsRegistry, *, stats: "PlanStats") -> None:
     registry.histogram(
         "plan_wall_seconds", "End-to-end plan latency"
     ).observe(stats.wall_seconds)
+
+
+def record_checkpoint(
+    registry: MetricsRegistry, *, payload_bytes: int, seconds: float
+) -> None:
+    """Feed one durable checkpoint save into the standard instruments.
+
+    Called by :class:`repro.core.plan.PlanExecutor` after each
+    successful atomic checkpoint write. Size and latency live here, not
+    in the (deterministic) ``checkpoint_saved`` trace event.
+    """
+    registry.counter(
+        "checkpoints_saved_total", "Plan checkpoints durably written"
+    ).inc()
+    registry.gauge(
+        "checkpoint_payload_bytes", "Size of the latest checkpoint file"
+    ).set(payload_bytes)
+    registry.histogram(
+        "checkpoint_save_seconds", "Checkpoint serialization + atomic write latency"
+    ).observe(seconds)
+
+
+def record_resume(registry: MetricsRegistry, *, queries_completed: int) -> None:
+    """Feed one checkpoint-resumed plan run into the standard instruments."""
+    registry.counter(
+        "plan_resumes_total", "Plan runs restarted from a checkpoint"
+    ).inc()
+    registry.counter(
+        "plan_resume_queries_restored_total",
+        "Already-retired queries restored from checkpoints",
+    ).inc(queries_completed)

@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 from typing import IO, Iterator, Protocol, Union, runtime_checkable
 
+from repro.durability.atomic import AtomicTextFile
 from repro.obs.events import TraceEvent, header_record
 
 __all__ = [
@@ -94,8 +95,11 @@ class JsonlSink:
     The first line is always the schema header
     (``{"event": "header", "schema_version": ...}``) so a trace file
     identifies its own wire format even when the query emitted nothing.
-    Accepts a path (opened and owned; closed by :meth:`close` or the
-    context manager) or any writable text file object (borrowed; never
+    Accepts a path (owned; the stream goes through
+    :class:`repro.durability.atomic.AtomicTextFile`, so the destination
+    is only published — by rename — when :meth:`close` runs cleanly, and
+    a crash mid-trace leaves the previous trace intact instead of a
+    truncated one) or any writable text file object (borrowed; never
     closed by the sink).
     """
 
@@ -103,7 +107,9 @@ class JsonlSink:
 
     def __init__(self, destination: Union[str, Path, IO[str]]) -> None:
         if isinstance(destination, (str, Path)):
-            self._file: IO[str] = Path(destination).open("w", encoding="utf-8")
+            self._file: Union[IO[str], AtomicTextFile] = AtomicTextFile(
+                destination, encoding="utf-8"
+            )
             self._owns_file = True
         else:
             self._file = destination

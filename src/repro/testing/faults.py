@@ -40,6 +40,7 @@ def retry_with_backoff(
     base_delay_s: float = 0.05,
     max_delay_s: float = 2.0,
     jitter: float = 0.5,
+    max_elapsed_s: float | None = None,
     retryable: tuple[type[BaseException], ...] = (OSError,),
     sleep: Callable[[float], None] = time.sleep,
     rng: int | np.random.Generator | None = None,
@@ -61,6 +62,13 @@ def retry_with_backoff(
         Fraction in ``[0, 1]``: each delay is multiplied by a uniform
         factor in ``[1, 1 + jitter]`` to decorrelate concurrent
         retriers.
+    max_elapsed_s:
+        Overall time cap: a retry whose pre-jitter delay would push the
+        elapsed time past this bound is not attempted — the last error
+        propagates instead. Elapsed time is the larger of the measured
+        wall clock and the cumulative *planned* delays, so tests that
+        inject a recording ``sleep`` exercise the cap deterministically.
+        ``None`` (default) means no cap.
     retryable:
         Exception types that trigger a retry. Anything else — notably
         :class:`~repro.exceptions.DataFormatError` for malformed input,
@@ -72,7 +80,8 @@ def retry_with_backoff(
 
     Raises
     ------
-    The last retryable exception, once ``max_retries`` is exhausted.
+    The last retryable exception, once ``max_retries`` is exhausted or
+    ``max_elapsed_s`` would be exceeded.
     """
     if max_retries < 0:
         raise ParameterError(f"max_retries must be >= 0, got {max_retries}")
@@ -80,7 +89,11 @@ def retry_with_backoff(
         raise ParameterError("backoff delays must be >= 0")
     if not 0.0 <= jitter <= 1.0:
         raise ParameterError(f"jitter must be in [0, 1], got {jitter}")
+    if max_elapsed_s is not None and max_elapsed_s <= 0:
+        raise ParameterError(f"max_elapsed_s must be > 0, got {max_elapsed_s}")
     generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    started = time.perf_counter()
+    planned_sleep = 0.0
     attempt = 0
     while True:
         try:
@@ -90,6 +103,11 @@ def retry_with_backoff(
             if attempt > max_retries:
                 raise
             delay = min(max_delay_s, base_delay_s * 2.0 ** (attempt - 1))
+            if max_elapsed_s is not None:
+                elapsed = max(time.perf_counter() - started, planned_sleep)
+                if elapsed + delay > max_elapsed_s:
+                    raise
+            planned_sleep += delay
             sleep(delay * (1.0 + jitter * float(generator.random())))
 
 

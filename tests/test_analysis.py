@@ -46,8 +46,8 @@ def check(path: str, text: str, **kwargs):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_eleven_rules_registered(self):
-        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 12)]
+    def test_all_twelve_rules_registered(self):
+        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 13)]
 
     def test_unused_suppression_code_reserved(self):
         assert UNUSED_SUPPRESSION == "SWP000"
@@ -425,6 +425,73 @@ class TestSWP011:
         report = check(BASELINES, text)
         assert codes(report) == []
         assert [v.rule for v in report.suppressed] == ["SWP011"]
+
+
+class TestSWP012:
+    def test_path_write_text_fires(self):
+        text = (
+            "from pathlib import Path\n\n"
+            "def f(path, payload):\n"
+            "    Path(path).write_text(payload)\n"
+        )
+        assert codes(check(CORE, text)) == ["SWP012"]
+
+    def test_write_bytes_fires(self):
+        text = "def f(path, blob):\n    path.write_bytes(blob)\n"
+        assert codes(check(CORE, text)) == ["SWP012"]
+
+    def test_builtin_open_write_mode_fires(self):
+        for mode in ("w", "wb", "a", "x"):
+            text = f'def f(path):\n    return open(path, "{mode}")\n'
+            assert codes(check(CORE, text)) == ["SWP012"], mode
+
+    def test_open_mode_keyword_fires(self):
+        text = 'def f(path):\n    return open(path, mode="w")\n'
+        assert codes(check(CORE, text)) == ["SWP012"]
+
+    def test_path_open_write_mode_fires(self):
+        text = 'def f(path):\n    return path.open("w")\n'
+        assert codes(check(CORE, text)) == ["SWP012"]
+
+    def test_reads_are_clean(self):
+        text = (
+            "def f(path):\n"
+            "    with open(path) as fh:\n"
+            "        a = fh.read()\n"
+            '    b = path.read_text(encoding="utf-8")\n'
+            '    c = open(path, "rb").read()\n'
+            "    return a, b, c\n"
+        )
+        assert codes(check(CORE, text)) == []
+
+    def test_dynamic_mode_is_clean(self):
+        # A non-constant mode cannot be judged syntactically; the rule
+        # stays silent rather than guessing.
+        text = "def f(path, mode):\n    return open(path, mode)\n"
+        assert codes(check(CORE, text)) == []
+
+    def test_durability_and_testing_are_exempt(self):
+        text = "def f(path, payload):\n    path.write_text(payload)\n"
+        for path in (
+            "src/repro/durability/atomic.py",
+            "src/repro/testing/chaos.py",
+        ):
+            assert codes(check(path, text)) == [], path
+
+    def test_tests_and_scripts_out_of_scope(self):
+        text = "def f(path, payload):\n    path.write_text(payload)\n"
+        for path in ("tests/example.py", "scripts/example.py"):
+            assert codes(check(path, text)) == [], path
+
+    def test_noqa_with_justification_suppresses(self):
+        text = (
+            "def f(path, payload):\n"
+            "    # scratch file consumed in-process; durability not needed\n"
+            "    path.write_text(payload)  # noqa: SWP012\n"
+        )
+        report = check(CORE, text)
+        assert codes(report) == []
+        assert [v.rule for v in report.suppressed] == ["SWP012"]
 
 
 # ----------------------------------------------------------------------

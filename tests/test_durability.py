@@ -1,0 +1,337 @@
+"""Tests for repro.durability: atomic writes and the checkpoint format.
+
+Four layers:
+
+* atomic write-rename — the destination either holds the old bytes or
+  the complete new bytes, never a torn mix; ``AtomicTextFile`` only
+  publishes on a clean close;
+* checkpoint envelope — save/load round-trips every section; the loader
+  refuses a wrong format marker, a future schema version
+  (``CheckpointMismatchError``), a tampered or truncated payload
+  (``CheckpointError``), and a checkpoint written for different data
+  (dataset-fingerprint mismatch);
+* sampler state — ``PrefixSampler.state_snapshot``/``from_state``
+  reproduce the permutation, the prefix position, and every marginal
+  and joint counter exactly, for both counting backends;
+* the resume property — snapshot → restore → continue equals the
+  uninterrupted run bit-for-bit (hypothesis sweeps store shapes and
+  snapshot points on both backends).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.plan import PlanExecutor, QuerySpec, plan_queries
+from repro.data.column_store import ColumnStore
+from repro.data.sampling import PrefixSampler
+from repro.durability.atomic import (
+    AtomicTextFile,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+from repro.durability.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_SCHEMA_VERSION,
+    decode_sampler_state,
+    encode_sampler_state,
+    load_checkpoint,
+    save_checkpoint,
+    store_fingerprint,
+)
+from repro.exceptions import (
+    CheckpointError,
+    CheckpointMismatchError,
+    ParameterError,
+)
+from repro.testing.chaos import plan_fingerprint, truncate_file
+
+BACKENDS = ["numpy", "threads"]
+SEED = 7
+
+
+@pytest.fixture()
+def store(rng: np.random.Generator) -> ColumnStore:
+    n = 1200
+    target = rng.integers(0, 5, n)
+    return ColumnStore(
+        {
+            "wide": rng.integers(0, 32, n),
+            "narrow": rng.integers(0, 3, n),
+            "target": target,
+            "noisy": np.where(rng.random(n) < 0.6, target, rng.integers(0, 5, n)),
+        }
+    )
+
+
+def _specs() -> list[QuerySpec]:
+    return [
+        QuerySpec(kind="top_k", score="entropy", k=2),
+        QuerySpec(
+            kind="top_k", score="mutual_information", k=1, target="target"
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Atomic writes
+# ----------------------------------------------------------------------
+class TestAtomicWrites:
+    def test_write_text_creates_and_replaces(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(path, "first")
+        assert path.read_text() == "first"
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+        # no temp siblings survive a successful write
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+    def test_write_bytes_round_trip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\xff" * 10)
+        assert path.read_bytes() == b"\x00\xff" * 10
+
+    def test_streaming_file_publishes_only_on_close(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        out = AtomicTextFile(path)
+        out.write("line 1\n")
+        assert not path.exists()  # nothing published mid-stream
+        out.close()
+        assert path.read_text() == "line 1\n"
+
+    def test_streaming_file_abort_leaves_previous_content(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        atomic_write_text(path, "previous\n")
+        with pytest.raises(RuntimeError):
+            with AtomicTextFile(path) as out:
+                out.write("half-written garbage")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "previous\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["stream.jsonl"]
+
+
+# ----------------------------------------------------------------------
+# Dataset fingerprints
+# ----------------------------------------------------------------------
+class TestStoreFingerprint:
+    def test_deterministic(self, store):
+        assert store_fingerprint(store) == store_fingerprint(store)
+
+    def test_sensitive_to_values(self, rng):
+        a = ColumnStore({"x": np.array([0, 1, 2, 1])})
+        b = ColumnStore({"x": np.array([0, 1, 2, 2])})
+        assert store_fingerprint(a) != store_fingerprint(b)
+
+    def test_sensitive_to_names_and_shape(self):
+        a = ColumnStore({"x": np.array([0, 1, 2])})
+        b = ColumnStore({"y": np.array([0, 1, 2])})
+        c = ColumnStore({"x": np.array([0, 1, 2, 0])})
+        assert len({store_fingerprint(s) for s in (a, b, c)}) == 3
+
+
+# ----------------------------------------------------------------------
+# Checkpoint envelope verification
+# ----------------------------------------------------------------------
+def _write_checkpoint(store, tmp_path, **executor_kwargs):
+    path = tmp_path / "plan.ckpt"
+    executor = PlanExecutor(
+        store, seed=SEED, checkpoint_path=path, **executor_kwargs
+    )
+    result = executor.execute(plan_queries(store, _specs()))
+    return path, result
+
+
+class TestCheckpointEnvelope:
+    def test_round_trip_and_store_verification(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        snapshot = load_checkpoint(path, store=store)
+        assert snapshot.schema_version == CHECKPOINT_SCHEMA_VERSION
+        assert snapshot.dataset["fingerprint"] == store_fingerprint(store)
+        assert [spec["kind"] for spec in snapshot.specs] == ["top_k", "top_k"]
+        assert snapshot.progress["in_flight"] is None  # plan completed
+
+    def test_save_returns_bytes_written(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        snapshot = load_checkpoint(path)
+        n = save_checkpoint(snapshot, tmp_path / "copy.ckpt")
+        assert n == (tmp_path / "copy.ckpt").stat().st_size > 0
+
+    def test_refuses_future_schema_version(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointMismatchError, match="schema"):
+            load_checkpoint(path)
+
+    def test_refuses_wrong_format_marker(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["format"] = "something-else"
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match=CHECKPOINT_FORMAT):
+            load_checkpoint(path)
+
+    def test_refuses_tampered_payload(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["executor"]["sample_floor"] += 1
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(CheckpointError, match="sha256"):
+            load_checkpoint(path)
+
+    def test_refuses_truncated_file(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        truncate_file(path, path.stat().st_size // 2)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_refuses_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_refuses_different_dataset(self, store, rng, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        other = ColumnStore(
+            {name: store.column(name).copy() for name in store.attributes[:2]}
+        )
+        with pytest.raises(CheckpointMismatchError, match="fingerprint"):
+            load_checkpoint(path, store=other)
+        with pytest.raises(CheckpointMismatchError):
+            PlanExecutor.resume(path, other)
+
+    def test_resume_requires_same_plan(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        executor = PlanExecutor.resume(path, store)
+        other_plan = plan_queries(
+            store, [QuerySpec(kind="top_k", score="entropy", k=1)]
+        )
+        with pytest.raises(CheckpointMismatchError, match="different plan"):
+            executor.execute(other_plan)
+
+    def test_resumed_plan_only_before_execute(self, store, tmp_path):
+        path, _ = _write_checkpoint(store, tmp_path)
+        executor = PlanExecutor.resume(path, store)
+        plan = executor.resumed_plan()
+        executor.execute(plan)
+        with pytest.raises(ParameterError, match="resumed_plan"):
+            executor.resumed_plan()
+
+    def test_checkpoint_every_validated(self, store, tmp_path):
+        with pytest.raises(ParameterError, match="checkpoint_every"):
+            PlanExecutor(
+                store, seed=SEED,
+                checkpoint_path=tmp_path / "x", checkpoint_every=0,
+            )
+
+
+# ----------------------------------------------------------------------
+# Sampler state snapshots
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSamplerState:
+    def test_snapshot_restores_counters_and_position(self, store, backend):
+        sampler = PrefixSampler(store, seed=SEED, retain=True, backend=backend)
+        sampler.marginal_counts("wide", 300)
+        sampler.marginal_counts("narrow", 300)
+        sampler.joint_counts("target", "noisy", 300)
+        state = decode_sampler_state(encode_sampler_state(sampler.state_snapshot()))
+        clone = PrefixSampler.from_state(store, state, backend=backend)
+        assert clone.cells_scanned == sampler.cells_scanned
+        for name in ("wide", "narrow"):
+            np.testing.assert_array_equal(
+                clone.marginal_counts(name, 300),
+                sampler.marginal_counts(name, 300),
+            )
+        assert (
+            clone.joint_counts("target", "noisy", 300).total
+            == sampler.joint_counts("target", "noisy", 300).total
+        )
+
+    def test_restored_sampler_continues_identically(self, store, backend):
+        reference = PrefixSampler(store, seed=SEED, retain=True, backend=backend)
+        snapshotted = PrefixSampler(store, seed=SEED, retain=True, backend=backend)
+        for sampler in (reference, snapshotted):
+            for name in store.attributes:
+                sampler.marginal_counts(name, 200)
+        state = decode_sampler_state(
+            encode_sampler_state(snapshotted.state_snapshot())
+        )
+        restored = PrefixSampler.from_state(store, state, backend=backend)
+        # grow both to a deeper prefix and compare every counter
+        for name in store.attributes:
+            np.testing.assert_array_equal(
+                restored.marginal_counts(name, 900),
+                reference.marginal_counts(name, 900),
+            )
+        assert restored.cells_scanned == reference.cells_scanned
+
+
+# ----------------------------------------------------------------------
+# The resume property (hypothesis)
+# ----------------------------------------------------------------------
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    data_seed=st.integers(min_value=0, max_value=2**16),
+    num_rows=st.integers(min_value=200, max_value=900),
+    kill_at=st.integers(min_value=0, max_value=50),
+    backend=st.sampled_from(BACKENDS),
+)
+def test_snapshot_restore_continue_matches_uninterrupted(
+    tmp_path, data_seed, num_rows, kill_at, backend
+):
+    """Kill at any boundary, resume, and the answers are bit-identical."""
+    from repro.testing.chaos import (
+        BoundaryFaultToken,
+        ChaosPlan,
+        SimulatedKillError,
+    )
+
+    data_rng = np.random.default_rng(data_seed)
+    target = data_rng.integers(0, 4, num_rows)
+    store = ColumnStore(
+        {
+            "a": data_rng.integers(0, 16, num_rows),
+            "b": data_rng.integers(0, 3, num_rows),
+            "target": target,
+            "mirror": np.where(
+                data_rng.random(num_rows) < 0.5,
+                target,
+                data_rng.integers(0, 4, num_rows),
+            ),
+        }
+    )
+    plan = plan_queries(store, _specs())
+    reference = plan_fingerprint(
+        PlanExecutor(store, seed=SEED, backend=backend).execute(plan)
+    )
+    path = tmp_path / f"resume-{data_seed}-{num_rows}-{kill_at}-{backend}.ckpt"
+    token = BoundaryFaultToken(ChaosPlan.kill_at(kill_at))
+    try:
+        PlanExecutor(
+            store, seed=SEED, backend=backend, checkpoint_path=path
+        ).execute(plan, cancellation=token)
+        killed = False
+    except SimulatedKillError:
+        killed = True
+    if killed:
+        resumed = PlanExecutor.resume(path, store, backend=backend)
+        outcome = resumed.execute(resumed.resumed_plan())
+        assert plan_fingerprint(outcome) == reference
+    # kill_at past the last boundary: the uninterrupted run must agree too
+    else:
+        assert (
+            plan_fingerprint(
+                PlanExecutor(store, seed=SEED, backend=backend).execute(plan)
+            )
+            == reference
+        )

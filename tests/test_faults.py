@@ -89,6 +89,64 @@ class TestRetryWithBackoff:
             retry_with_backoff(bad_format, max_retries=5, sleep=sleeps.append)
         assert sleeps == []  # not a single retry was attempted
 
+    def test_max_elapsed_cap_stops_retrying_early(self):
+        # Planned delays with jitter=0: 1.0, 2.0, 4.0. The second retry
+        # would push cumulative planned sleep to 3.0 > 2.5, so only one
+        # retry happens even though max_retries allows five.
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("still down")
+
+        with pytest.raises(OSError, match="still down"):
+            retry_with_backoff(
+                always_fails, max_retries=5, base_delay_s=1.0,
+                jitter=0.0, max_elapsed_s=2.5, sleep=sleeps.append,
+            )
+        assert calls["n"] == 2
+        assert sleeps == [1.0]
+
+    def test_max_elapsed_cap_permits_retries_within_budget(self):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError("transient")
+            return "ok"
+
+        assert (
+            retry_with_backoff(
+                flaky, max_retries=5, base_delay_s=1.0,
+                jitter=0.0, max_elapsed_s=10.0, sleep=sleeps.append,
+            )
+            == "ok"
+        )
+        assert sleeps == [1.0, 2.0]
+
+    def test_jitter_scales_each_delay(self):
+        # jitter=1.0 multiplies each delay by a uniform factor in
+        # [1, 2]; a seeded rng makes the draw reproducible.
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError("transient")
+            return None
+
+        retry_with_backoff(
+            flaky, max_retries=3, base_delay_s=1.0, max_delay_s=8.0,
+            jitter=1.0, sleep=sleeps.append, rng=42,
+        )
+        assert len(sleeps) == 2
+        assert 1.0 <= sleeps[0] <= 2.0
+        assert 2.0 <= sleeps[1] <= 4.0
+
     def test_parameter_validation(self):
         with pytest.raises(ParameterError):
             retry_with_backoff(lambda: None, max_retries=-1)
@@ -96,6 +154,8 @@ class TestRetryWithBackoff:
             retry_with_backoff(lambda: None, jitter=2.0)
         with pytest.raises(ParameterError):
             retry_with_backoff(lambda: None, base_delay_s=-0.1)
+        with pytest.raises(ParameterError):
+            retry_with_backoff(lambda: None, max_elapsed_s=0.0)
 
 
 class TestFlakyReaderStreaming:
