@@ -6,21 +6,32 @@ can only spot-check — every entropy expression must be base-2 (Lemmas
 :class:`numpy.random.Generator`, every adaptive loop must honour the
 ``QueryBudget``/``CancellationToken`` contract, and every intentional
 error must derive from the :mod:`repro.exceptions` hierarchy. This
-package encodes those invariants as AST lint rules (``SWP001``–``SWP010``)
-and runs them over the tree:
+package encodes those invariants as per-module AST lint rules
+(``SWP001``–``SWP012``) plus whole-program analyses over the project
+call graph (``SWP013``–``SWP016``) and runs them over the tree:
 
     python -m repro.analysis src/ tests/
+    python -m repro.analysis --project src/ tests/
 
 Structure
 ---------
 * :mod:`repro.analysis.rules` — the rule framework: :class:`Violation`,
   :class:`Rule`, the ``SWP###`` registry, and severities.
-* :mod:`repro.analysis.checks` — the concrete SWOPE rules.
+* :mod:`repro.analysis.checks` — the concrete per-module SWOPE rules.
+* :mod:`repro.analysis.graph` — project-wide import/call graph with
+  sha256-cached per-module summaries.
+* :mod:`repro.analysis.flow` — intra-procedural determinism-taint
+  analysis feeding the graph summaries.
+* :mod:`repro.analysis.project` — the :class:`ProjectContext` handed to
+  whole-program rules, including the entry-point contract.
+* :mod:`repro.analysis.checks_project` — the whole-program rules
+  (determinism taint, budget reachability, thread-shared-state,
+  exception contract).
 * :mod:`repro.analysis.checker` — parses files, applies rules, and
-  resolves ``# noqa: SWP###`` suppressions (including unused-suppression
-  detection, reported as ``SWP000``).
+  resolves ``# noqa: SWP###`` suppressions (including unused- and
+  unknown-suppression detection, reported as ``SWP000``).
 * :mod:`repro.analysis.baseline` — the ``--baseline`` ratchet file.
-* :mod:`repro.analysis.reporting` — text and JSON reporters.
+* :mod:`repro.analysis.reporting` — text, JSON, and SARIF reporters.
 * :mod:`repro.analysis.cli` — the ``python -m repro.analysis`` entry
   point.
 
@@ -35,22 +46,31 @@ from repro.analysis.checker import (
     AnalysisReport,
     ModuleContext,
     analyze_paths,
+    analyze_project,
     analyze_source,
 )
 from repro.analysis.rules import RULES, Rule, Severity, Violation, all_codes
 
 # Importing the concrete checks registers them with the RULES registry.
 from repro.analysis import checks as _checks  # noqa: F401
+from repro.analysis import checks_project as _checks_project  # noqa: F401
+from repro.analysis.graph import ModuleSummary, ProjectGraph, extract_module
+from repro.analysis.project import ProjectContext
 
 __all__ = [
     "AnalysisReport",
     "Baseline",
     "ModuleContext",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectGraph",
     "RULES",
     "Rule",
     "Severity",
     "Violation",
     "all_codes",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
+    "extract_module",
 ]

@@ -19,6 +19,7 @@ regressions and must be deleted.
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -42,6 +43,7 @@ __all__ = [
     "ModuleContext",
     "analyze_file",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "build_context",
     "iter_python_files",
@@ -232,6 +234,60 @@ _UNUSED_RULE = Rule(
 )
 
 
+def _resolve_suppressions(
+    context: ModuleContext,
+    raw: list[Violation],
+    *,
+    ran: set[str],
+    report_unused: bool,
+    report: AnalysisReport,
+) -> None:
+    """Route raw findings through ``# noqa`` comments into ``report``.
+
+    Shared by the per-module and whole-program paths so both get the
+    same contract: a suppression silences only its own line and rule;
+    a suppression naming a selected rule that did not fire is stale
+    (``SWP000``); a suppression naming a rule code that does not exist
+    at all — a typo, or a rule that was deleted — is also ``SWP000``,
+    judgeable regardless of ``--select`` because no narrowing can make
+    a nonexistent rule fire.
+    """
+    suppressions = _suppressions(context.text)
+    fired_by_line: dict[int, set[str]] = {}
+    for violation in raw:
+        codes = suppressions.get(violation.line, set())
+        fired_by_line.setdefault(violation.line, set()).add(violation.rule)
+        if violation.rule in codes:
+            report.suppressed.append(violation)
+        else:
+            report.violations.append(violation)
+    if not report_unused:
+        return
+    for line, codes in sorted(suppressions.items()):
+        for code in sorted(codes):
+            if code != UNUSED_SUPPRESSION and code not in RULES:
+                report.violations.append(
+                    context.violation(
+                        _UNUSED_RULE,
+                        line,
+                        f"suppression names unknown rule {code}: no such"
+                        " rule is registered; delete or fix the # noqa",
+                    )
+                )
+                continue
+            if code not in ran:
+                continue  # rule not selected: cannot judge staleness
+            if code not in fired_by_line.get(line, set()):
+                report.violations.append(
+                    context.violation(
+                        _UNUSED_RULE,
+                        line,
+                        f"unused suppression: {code} never fires on this"
+                        " line; delete the # noqa",
+                    )
+                )
+
+
 def analyze_source(
     path: str,
     text: str,
@@ -240,11 +296,13 @@ def analyze_source(
     ignore: Iterable[str] | None = None,
     report_unused: bool = True,
 ) -> AnalysisReport:
-    """Run the (narrowed) rule set over one in-memory module.
+    """Run the (narrowed) per-module rule set over one in-memory module.
 
     Unused-suppression detection only considers codes belonging to rules
     that actually ran: narrowing with ``--select`` must not mark the
-    other rules' suppressions as stale.
+    other rules' suppressions as stale. Project rules never run here —
+    they need the whole-program graph (:func:`analyze_project`) — so
+    their suppressions are likewise never judged stale by this path.
     """
     report = AnalysisReport(checked_files=1)
     try:
@@ -256,30 +314,10 @@ def analyze_source(
     raw: list[Violation] = []
     for active_rule in rules:
         raw.extend(active_rule.run(context))
-    suppressions = _suppressions(context.text)
-    fired_by_line: dict[int, set[str]] = {}
-    for violation in raw:
-        codes = suppressions.get(violation.line, set())
-        fired_by_line.setdefault(violation.line, set()).add(violation.rule)
-        if violation.rule in codes:
-            report.suppressed.append(violation)
-        else:
-            report.violations.append(violation)
-    if report_unused:
-        ran = {r.code for r in rules}
-        for line, codes in sorted(suppressions.items()):
-            for code in sorted(codes):
-                if code not in ran:
-                    continue  # rule not selected: cannot judge staleness
-                if code not in fired_by_line.get(line, set()):
-                    report.violations.append(
-                        context.violation(
-                            _UNUSED_RULE,
-                            line,
-                            f"unused suppression: {code} never fires on this"
-                            " line; delete the # noqa",
-                        )
-                    )
+    ran = {r.code for r in rules if not r.project}
+    _resolve_suppressions(
+        context, raw, ran=ran, report_unused=report_unused, report=report
+    )
     return report
 
 
@@ -358,3 +396,119 @@ def analyze_paths(
         )
     combined.violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
     return combined
+
+
+def _display_path(path: Path, display_root: Path | None) -> str:
+    display = path
+    if display_root is not None:
+        try:
+            display = path.resolve().relative_to(display_root.resolve())
+        except ValueError:
+            display = path
+    return display.as_posix()
+
+
+def analyze_project(
+    paths: Sequence[Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    report_unused: bool = True,
+    display_root: Path | None = None,
+    cache_path: Path | None = None,
+    module_files: Iterable[str] | None = None,
+) -> AnalysisReport:
+    """Whole-program analysis: per-module rules + graph-based rules.
+
+    Parses every ``.py`` file under ``paths`` once, runs the per-module
+    rules on each, links every parsed module inside the ``repro``
+    package into a :class:`~repro.analysis.graph.ProjectGraph` (with an
+    optional sha256-keyed summary cache at ``cache_path``), and runs the
+    registered ``@project_rule`` checks over the resulting
+    :class:`~repro.analysis.project.ProjectContext`.
+
+    ``module_files`` (display-relative path strings) narrows which files
+    the *per-module* rules run on — the ``--changed-only`` fast path.
+    The graph and the project rules always see the full tree: a change
+    in one module can create a cross-module violation positioned in
+    another, so partial graphs would under-report. Suppression
+    staleness is judged per file against the codes that actually ran
+    there; unknown-rule suppressions are judged everywhere.
+    """
+    # Imported lazily: graph.py needs checks.py which needs this module.
+    from repro.analysis.graph import ProjectGraph, extract_module, load_cache, save_cache
+    from repro.analysis.project import ProjectContext
+
+    if not RULES:  # pragma: no cover - guarded by package __init__ imports
+        raise AnalysisError("no analysis rules registered; import repro.analysis")
+    rules = iter_rules(select, ignore)
+    module_rules = [r for r in rules if not r.project]
+    project_rules = [r for r in rules if r.project]
+    report = AnalysisReport()
+
+    contexts: list[ModuleContext] = []
+    for file_path in iter_python_files(paths):
+        display = _display_path(file_path, display_root)
+        report.checked_files += 1
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.parse_errors.append((display, f"unreadable: {exc}"))
+            continue
+        try:
+            contexts.append(build_context(display, text))
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                (display, f"syntax error: {exc.msg} (line {exc.lineno})")
+            )
+            continue
+
+    narrowed = set(module_files) if module_files is not None else None
+    raw_by_path: dict[str, list[Violation]] = {}
+    module_analyzed: set[str] = set()
+    for context in contexts:
+        if narrowed is not None and context.path not in narrowed:
+            continue
+        module_analyzed.add(context.path)
+        raw = raw_by_path.setdefault(context.path, [])
+        for active_rule in module_rules:
+            raw.extend(active_rule.run(context))
+
+    graph_contexts = [c for c in contexts if c.in_package("repro")]
+    cached = load_cache(cache_path) if cache_path is not None else {}
+    summaries = []
+    for context in graph_contexts:
+        sha = hashlib.sha256(context.text.encode("utf-8")).hexdigest()
+        hit = cached.get(sha)
+        if hit is not None and hit.module == context.module:
+            summaries.append(hit)
+        else:
+            summaries.append(extract_module(context))
+    if cache_path is not None:
+        save_cache(cache_path, summaries)
+    graph = ProjectGraph(summaries)
+    project_context = ProjectContext(
+        graph=graph, contexts={c.module: c for c in graph_contexts}
+    )
+    for active_rule in project_rules:
+        for violation in active_rule.run_project(project_context):
+            raw_by_path.setdefault(violation.path, []).append(violation)
+
+    graph_paths = {c.path for c in graph_contexts}
+    module_codes = {r.code for r in module_rules}
+    project_codes = {r.code for r in project_rules}
+    for context in contexts:
+        ran: set[str] = set()
+        if context.path in module_analyzed:
+            ran |= module_codes
+        if context.path in graph_paths:
+            ran |= project_codes
+        _resolve_suppressions(
+            context,
+            raw_by_path.get(context.path, []),
+            ran=ran,
+            report_unused=report_unused,
+            report=report,
+        )
+    report.violations.sort(key=lambda v: (v.path, v.line, v.column, v.rule))
+    return report

@@ -14,19 +14,24 @@ Typical invocations::
     python -m repro.analysis src/ --select SWP002,SWP008 --format json
     python -m repro.analysis src/ --baseline analysis-baseline.json
     python -m repro.analysis src/ --baseline debt.json --update-baseline
+    python -m repro.analysis --project src/ scripts/
+    python -m repro.analysis --project --format sarif src/
+    python -m repro.analysis --changed-only src/ tests/
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import checks as _checks  # noqa: F401 - registers rules
+from repro.analysis import checks_project as _checks_project  # noqa: F401
 from repro.analysis.baseline import Baseline
-from repro.analysis.checker import AnalysisReport, analyze_paths
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.checker import AnalysisReport, analyze_paths, analyze_project
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.rules import RULES, Violation
 from repro.exceptions import AnalysisError
 
@@ -40,7 +45,7 @@ def _parse_codes(raw: str) -> list[str]:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="SWOPE-aware static analysis (rules SWP001-SWP010).",
+        description="SWOPE-aware static analysis (rules SWP001-SWP016).",
     )
     parser.add_argument(
         "paths",
@@ -50,9 +55,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program mode: build the cross-module call graph and run"
+        " the project rules (SWP013-SWP016) as well",
+    )
+    parser.add_argument(
+        "--graph-cache",
+        metavar="FILE",
+        help="with --project: cache per-module graph summaries (sha256-keyed"
+        " JSON) so repeat runs only re-extract changed files",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="narrow per-module rules to files changed vs git HEAD"
+        " (+ untracked); whole-program rules still see the full tree;"
+        " falls back to a full run outside a git checkout",
     )
     parser.add_argument(
         "--select",
@@ -98,6 +122,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _narrow_to_changed(
+    paths: list[Path], changed: list[str]
+) -> list[Path]:
+    """Changed files that sit under one of the requested paths."""
+    roots = [p.resolve() for p in paths]
+    out: list[Path] = []
+    for name in changed:
+        candidate = Path(name)
+        if not candidate.exists():
+            continue  # deleted in the working tree
+        resolved = candidate.resolve()
+        if any(root == resolved or root in resolved.parents for root in roots):
+            out.append(candidate)
+    return out
+
+
+def _changed_python_files() -> list[str] | None:
+    """Repo-relative ``.py`` paths changed vs HEAD, plus untracked ones.
+
+    Returns ``None`` when git is unavailable or the working directory is
+    not a checkout — callers fall back to a full run, because silently
+    analysing nothing would let regressions through pre-commit.
+    """
+    outputs: list[str] = []
+    for command in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                command, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        outputs.append(proc.stdout)
+    return sorted(
+        {
+            line.strip()
+            for output in outputs
+            for line in output.splitlines()
+            if line.strip().endswith(".py")
+        }
+    )
+
+
 def _list_rules() -> str:
     lines = []
     for code, registered in sorted(RULES.items()):
@@ -117,18 +186,49 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.update_baseline and not args.baseline:
         print("error: --update-baseline requires --baseline", file=sys.stderr)
         return 2
+    if args.graph_cache and not args.project:
+        print("error: --graph-cache requires --project", file=sys.stderr)
+        return 2
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
+    changed: list[str] | None = None
+    if args.changed_only:
+        changed = _changed_python_files()
+        if changed is None:
+            print(
+                "warning: --changed-only needs git; analysing the full tree",
+                file=sys.stderr,
+            )
     try:
-        report: AnalysisReport = analyze_paths(
-            [Path(p) for p in args.paths],
-            select=_parse_codes(args.select) if args.select else None,
-            ignore=_parse_codes(args.ignore) if args.ignore else None,
-            report_unused=not args.no_unused_suppressions,
-            display_root=Path.cwd(),
-        )
+        select = _parse_codes(args.select) if args.select else None
+        ignore = _parse_codes(args.ignore) if args.ignore else None
+        report_unused = not args.no_unused_suppressions
+        if args.project:
+            report: AnalysisReport = analyze_project(
+                [Path(p) for p in args.paths],
+                select=select,
+                ignore=ignore,
+                report_unused=report_unused,
+                display_root=Path.cwd(),
+                cache_path=Path(args.graph_cache) if args.graph_cache else None,
+                module_files=changed,
+            )
+        else:
+            target_paths = [Path(p) for p in args.paths]
+            if changed is not None:
+                target_paths = _narrow_to_changed(target_paths, changed)
+                if not target_paths:
+                    print("no changed Python files under the given paths")
+                    return 0
+            report = analyze_paths(
+                target_paths,
+                select=select,
+                ignore=ignore,
+                report_unused=report_unused,
+                display_root=Path.cwd(),
+            )
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -166,7 +266,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 return 2
             report.violations, baselined = tolerated.filter(report.violations)
 
-    if args.format == "json":
+    if args.format == "sarif":
+        print(render_sarif(report))
+    elif args.format == "json":
         print(render_json(report, baselined=baselined))
     else:
         print(

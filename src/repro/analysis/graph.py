@@ -1,0 +1,852 @@
+"""Project-wide import graph + call graph for whole-program rules.
+
+Per-module rules see one AST at a time; the cross-module invariants
+(SWP013–SWP016) need to know *who calls whom* across ``src/repro``.
+This module extracts a compact, JSON-serialisable summary of every
+module — name bindings, classes, and per-function facts (calls, loops,
+raises, shared-state writes, taint flow) — and links the summaries into
+a :class:`ProjectGraph` with name resolution and reachability queries.
+
+Design constraints:
+
+* **Stdlib only** (``ast`` + ``hashlib`` + ``json``), like the rest of
+  the analysis package.
+* **Incremental**: summaries are keyed by the file's sha256 and cached
+  as JSON (``--graph-cache``), so repeat runs re-extract only changed
+  files. Linking (cheap) is redone from summaries every run.
+* **Honest approximations**: resolution follows import aliases,
+  ``self``-method calls (with base-class chasing), module-local names,
+  and ``__init__`` re-export chains; calls through arbitrary local
+  objects (``ctx.finish()`` where ``ctx`` is a local) stay unresolved.
+  The soundness consequences are documented in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.analysis.checks import _BUDGET_CHECK_CALLS, _is_adaptive_loop
+from repro.analysis.flow import FunctionFlow, analyze_function
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.checker import ModuleContext
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "GRAPH_CACHE_VERSION",
+    "LoopInfo",
+    "ModuleSummary",
+    "ProjectGraph",
+    "RaiseSite",
+    "Resolved",
+    "SharedWrite",
+    "extract_module",
+    "load_cache",
+    "save_cache",
+]
+
+#: Bump when the summary shape changes; stale caches are discarded whole.
+GRAPH_CACHE_VERSION = 1
+
+#: Worker-dispatch method names: ``pool.submit(fn, ...)``, ``pool.map(fn, ...)``.
+_DISPATCH_METHODS = {"submit", "map"}
+
+#: Receiver methods that mutate shared containers in place.
+_SHARED_MUTATORS = {
+    "append",
+    "add",
+    "extend",
+    "insert",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "appendleft",
+}
+
+#: Module-level constructors that produce mutable containers.
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+    "bytearray",
+}
+
+
+def _chain(node: ast.expr) -> tuple[str, ...] | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One syntactic call inside a function body."""
+
+    chain: tuple[str, ...]
+    lineno: int
+
+    def to_dict(self) -> list[Any]:
+        return [list(self.chain), self.lineno]
+
+    @classmethod
+    def from_dict(cls, payload: list[Any]) -> "CallSite":
+        return cls(chain=tuple(payload[0]), lineno=int(payload[1]))
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """One ``for``/``while`` loop: is it adaptive, is it budget-checked."""
+
+    lineno: int
+    kind: str  # "for" | "while"
+    adaptive: bool
+    checked: bool
+
+    def to_dict(self) -> list[Any]:
+        return [self.lineno, self.kind, self.adaptive, self.checked]
+
+    @classmethod
+    def from_dict(cls, payload: list[Any]) -> "LoopInfo":
+        return cls(int(payload[0]), payload[1], bool(payload[2]), bool(payload[3]))
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One ``raise <chain>(...)`` site (bare re-raises are not recorded)."""
+
+    chain: tuple[str, ...]
+    lineno: int
+
+    def to_dict(self) -> list[Any]:
+        return [list(self.chain), self.lineno]
+
+    @classmethod
+    def from_dict(cls, payload: list[Any]) -> "RaiseSite":
+        return cls(chain=tuple(payload[0]), lineno=int(payload[1]))
+
+
+@dataclass(frozen=True)
+class SharedWrite:
+    """A write to state that outlives the function's own frame.
+
+    ``kind`` is ``"global"`` (rebinding via ``global``), ``"nonlocal"``
+    (rebinding a closure cell), or ``"mutation"`` (in-place mutation of
+    a module-level mutable container). ``locked`` records whether the
+    write sits lexically inside a ``with <...lock...>:`` block.
+    """
+
+    name: str
+    lineno: int
+    kind: str
+    locked: bool
+
+    def to_dict(self) -> list[Any]:
+        return [self.name, self.lineno, self.kind, self.locked]
+
+    @classmethod
+    def from_dict(cls, payload: list[Any]) -> "SharedWrite":
+        return cls(payload[0], int(payload[1]), payload[2], bool(payload[3]))
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function facts the whole-program rules consume."""
+
+    qualname: str  # "name", "Class.name", or "outer.<locals>.inner"
+    module: str
+    name: str
+    cls: str | None
+    lineno: int
+    calls: list[CallSite] = field(default_factory=list)
+    loops: list[LoopInfo] = field(default_factory=list)
+    raises: list[RaiseSite] = field(default_factory=list)
+    shared_writes: list[SharedWrite] = field(default_factory=list)
+    #: Names this function dispatches to workers (``pool.submit(fn)``,
+    #: ``Thread(target=fn)``) — call edges *and* worker-root markers.
+    dispatches: list[CallSite] = field(default_factory=list)
+    #: Function-level import bindings overlaying the module's.
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: Names of functions defined directly inside this one.
+    local_defs: dict[str, str] = field(default_factory=dict)
+    flow: FunctionFlow = field(default_factory=FunctionFlow)
+
+    @property
+    def key(self) -> str:
+        """Graph-wide identity: ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "module": self.module,
+            "name": self.name,
+            "cls": self.cls,
+            "lineno": self.lineno,
+            "calls": [c.to_dict() for c in self.calls],
+            "loops": [l.to_dict() for l in self.loops],
+            "raises": [r.to_dict() for r in self.raises],
+            "shared_writes": [w.to_dict() for w in self.shared_writes],
+            "dispatches": [d.to_dict() for d in self.dispatches],
+            "bindings": dict(self.bindings),
+            "local_defs": dict(self.local_defs),
+            "flow": self.flow.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FunctionInfo":
+        return cls(
+            qualname=payload["qualname"],
+            module=payload["module"],
+            name=payload["name"],
+            cls=payload["cls"],
+            lineno=int(payload["lineno"]),
+            calls=[CallSite.from_dict(c) for c in payload["calls"]],
+            loops=[LoopInfo.from_dict(l) for l in payload["loops"]],
+            raises=[RaiseSite.from_dict(r) for r in payload["raises"]],
+            shared_writes=[SharedWrite.from_dict(w) for w in payload["shared_writes"]],
+            dispatches=[CallSite.from_dict(d) for d in payload["dispatches"]],
+            bindings=dict(payload["bindings"]),
+            local_defs=dict(payload["local_defs"]),
+            flow=FunctionFlow.from_dict(payload["flow"]),
+        )
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases (as dotted strings) and method names."""
+
+    name: str
+    lineno: int
+    bases: list[str] = field(default_factory=list)
+    methods: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ClassInfo":
+        return cls(
+            name=payload["name"],
+            lineno=int(payload["lineno"]),
+            bases=list(payload["bases"]),
+            methods=list(payload["methods"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the linker needs to know about one module."""
+
+    module: str
+    path: str
+    sha256: str
+    is_package: bool
+    #: Module-level name bindings: local name → dotted target.
+    bindings: dict[str, str] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers.
+    mutable_globals: list[str] = field(default_factory=list)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "sha256": self.sha256,
+            "is_package": self.is_package,
+            "bindings": dict(self.bindings),
+            "mutable_globals": list(self.mutable_globals),
+            "classes": {k: v.to_dict() for k, v in self.classes.items()},
+            "functions": {k: v.to_dict() for k, v in self.functions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            module=payload["module"],
+            path=payload["path"],
+            sha256=payload["sha256"],
+            is_package=bool(payload["is_package"]),
+            bindings=dict(payload["bindings"]),
+            mutable_globals=list(payload["mutable_globals"]),
+            classes={
+                k: ClassInfo.from_dict(v) for k, v in payload["classes"].items()
+            },
+            functions={
+                k: FunctionInfo.from_dict(v)
+                for k, v in payload["functions"].items()
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def _import_bindings(
+    node: ast.Import | ast.ImportFrom, module: str, is_package: bool
+) -> dict[str, str]:
+    """Local name → fully-dotted target for one import statement."""
+    out: dict[str, str] = {}
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            out[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        return out
+    # from X import a, b as c  (level handles relative imports)
+    parts = module.split(".") if module else []
+    if node.level > 0:
+        base = parts if is_package else parts[:-1]
+        if node.level > 1:
+            base = base[: len(base) - (node.level - 1)]
+        prefix = base + (node.module.split(".") if node.module else [])
+    else:
+        prefix = node.module.split(".") if node.module else []
+    for alias in node.names:
+        if alias.name == "*":
+            continue  # wildcard: unresolvable, documented caveat
+        out[alias.asname or alias.name] = ".".join([*prefix, alias.name])
+    return out
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        chain = _chain(node.func)
+        return chain is not None and chain[-1] in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _loop_is_checked(loop: ast.For | ast.While) -> bool:
+    for stmt in [*loop.body, *loop.orelse]:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                chain = _chain(node.func)
+                if chain is not None and chain[-1] in _BUDGET_CHECK_CALLS:
+                    return True
+    return False
+
+
+def _looks_like_lock(node: ast.expr) -> bool:
+    """Heuristic: a ``with`` context manager that is a lock/mutex."""
+    chain = _chain(node.func if isinstance(node, ast.Call) else node)
+    if chain is None:
+        return False
+    return any("lock" in part.lower() or "mutex" in part.lower() for part in chain)
+
+
+class _FunctionExtractor(ast.NodeVisitor):
+    """Collects one function's facts, stopping at nested defs."""
+
+    def __init__(self, info: FunctionInfo, mutable_globals: set[str]) -> None:
+        self.info = info
+        self.mutable_globals = mutable_globals
+        self.global_names: set[str] = set()
+        self.nonlocal_names: set[str] = set()
+        self.lock_depth = 0
+
+    # -- nested scopes: record, don't descend --------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.info.local_defs[node.name] = (
+            f"{self.info.qualname}.<locals>.{node.name}"
+        )
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return  # nested classes: out of scope
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    # -- facts ----------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        self.info.bindings.update(
+            _import_bindings(node, self.info.module, False)
+        )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.info.bindings.update(
+            _import_bindings(node, self.info.module, False)
+        )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.global_names.update(node.names)
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        self.nonlocal_names.update(node.names)
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(_looks_like_lock(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if locked:
+            self.lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self.lock_depth -= 1
+
+    visit_AsyncWith = visit_With  # type: ignore[assignment]
+
+    def _record_write(self, name: str, lineno: int, kind: str) -> None:
+        self.info.shared_writes.append(
+            SharedWrite(
+                name=name, lineno=lineno, kind=kind, locked=self.lock_depth > 0
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node.lineno)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node.lineno)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_store(node.target, node.lineno)
+        if node.value is not None:
+            self.visit(node.value)
+
+    def _check_store(self, target: ast.expr, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.global_names:
+                self._record_write(target.id, lineno, "global")
+            elif target.id in self.nonlocal_names:
+                self._record_write(target.id, lineno, "nonlocal")
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            base: ast.expr = target
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            chain = _chain(base)
+            if chain is not None and chain[0] in (
+                self.mutable_globals | self.global_names
+            ):
+                self._record_write(chain[0], lineno, "mutation")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt, lineno)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._record_loop(node, "for")
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._record_loop(node, "while")
+        self.generic_visit(node)
+
+    def _record_loop(self, node: ast.For | ast.While, kind: str) -> None:
+        self.info.loops.append(
+            LoopInfo(
+                lineno=node.lineno,
+                kind=kind,
+                adaptive=_is_adaptive_loop(node),
+                checked=_loop_is_checked(node),
+            )
+        )
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if exc is not None:
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            chain = _chain(target)
+            if chain is not None:
+                self.info.raises.append(
+                    RaiseSite(chain=chain, lineno=node.lineno)
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _chain(node.func)
+        if chain is not None:
+            self.info.calls.append(CallSite(chain=chain, lineno=node.lineno))
+            # Mutation of a module-level container counts as a write.
+            if (
+                len(chain) >= 2
+                and chain[-1] in _SHARED_MUTATORS
+                and chain[0] in (self.mutable_globals | self.global_names)
+            ):
+                self._record_write(chain[0], node.lineno, "mutation")
+            # Worker dispatch: pool.submit(fn, ...), pool.map(fn, ...),
+            # Thread(target=fn).
+            if chain[-1] in _DISPATCH_METHODS and node.args:
+                worker = _chain(node.args[0])
+                if worker is not None:
+                    site = CallSite(chain=worker, lineno=node.lineno)
+                    self.info.dispatches.append(site)
+                    self.info.calls.append(site)
+            if chain[-1] == "Thread":
+                for keyword in node.keywords:
+                    if keyword.arg == "target":
+                        worker = _chain(keyword.value)
+                        if worker is not None:
+                            site = CallSite(chain=worker, lineno=node.lineno)
+                            self.info.dispatches.append(site)
+                            self.info.calls.append(site)
+        self.generic_visit(node)
+
+
+def _extract_function(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    *,
+    module: str,
+    qualname: str,
+    cls: str | None,
+    mutable_globals: set[str],
+    context: "ModuleContext",
+) -> FunctionInfo:
+    info = FunctionInfo(
+        qualname=qualname,
+        module=module,
+        name=node.name,
+        cls=cls,
+        lineno=node.lineno,
+    )
+    extractor = _FunctionExtractor(info, mutable_globals)
+    for stmt in node.body:
+        extractor.visit(stmt)
+    info.flow = analyze_function(
+        node,
+        time_aliases=set(context.time_aliases) or {"time"},
+        os_aliases={"os"},
+        numpy_aliases=set(context.numpy_aliases) or {"np", "numpy"},
+        random_aliases=set(context.random_aliases),
+    )
+    return info
+
+
+def _iter_defs(
+    body: Iterable[ast.stmt], prefix: str, cls: str | None
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, str | None]]:
+    """Yield every (def node, qualname, class) in ``body``, recursively."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{stmt.name}"
+            yield stmt, qualname, cls
+            yield from _iter_defs(stmt.body, f"{qualname}.<locals>.", cls)
+        elif isinstance(stmt, ast.ClassDef):
+            yield from _iter_defs(
+                stmt.body, f"{prefix}{stmt.name}.", f"{prefix}{stmt.name}"
+            )
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # defs behind TYPE_CHECKING / fallback guards still exist
+            bodies: list[list[ast.stmt]] = [getattr(stmt, "body", [])]
+            bodies.append(getattr(stmt, "orelse", []))
+            if isinstance(stmt, ast.Try):
+                bodies.append(stmt.finalbody)
+                for handler in stmt.handlers:
+                    bodies.append(handler.body)
+            for nested in bodies:
+                yield from _iter_defs(nested, prefix, cls)
+
+
+def extract_module(context: "ModuleContext") -> ModuleSummary:
+    """Build the :class:`ModuleSummary` for one parsed module."""
+    is_package = Path(context.path).name == "__init__.py"
+    sha = hashlib.sha256(context.text.encode("utf-8")).hexdigest()
+    summary = ModuleSummary(
+        module=context.module,
+        path=context.path,
+        sha256=sha,
+        is_package=is_package,
+    )
+    for stmt in context.tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            summary.bindings.update(
+                _import_bindings(stmt, context.module, is_package)
+            )
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and _is_mutable_value(stmt.value):
+                    summary.mutable_globals.append(target.id)
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.value is not None
+                and _is_mutable_value(stmt.value)
+            ):
+                summary.mutable_globals.append(stmt.target.id)
+        elif isinstance(stmt, ast.ClassDef):
+            bases = []
+            for base in stmt.bases:
+                base_chain = _chain(base)
+                if base_chain is not None:
+                    bases.append(".".join(base_chain))
+            summary.classes[stmt.name] = ClassInfo(
+                name=stmt.name,
+                lineno=stmt.lineno,
+                bases=bases,
+                methods=[
+                    s.name
+                    for s in stmt.body
+                    if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ],
+            )
+        elif isinstance(stmt, ast.If):
+            # TYPE_CHECKING guards at module level may hide imports.
+            for nested in [*stmt.body, *stmt.orelse]:
+                if isinstance(nested, (ast.Import, ast.ImportFrom)):
+                    summary.bindings.update(
+                        _import_bindings(nested, context.module, is_package)
+                    )
+    mutable = set(summary.mutable_globals)
+    for node, qualname, cls in _iter_defs(context.tree.body, "", None):
+        info = _extract_function(
+            node,
+            module=context.module,
+            qualname=qualname,
+            cls=cls,
+            mutable_globals=mutable,
+            context=context,
+        )
+        summary.functions[qualname] = info
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+def load_cache(path: Path) -> dict[str, ModuleSummary]:
+    """``{sha256: ModuleSummary}`` from a cache file; ``{}`` if unusable."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("version") != GRAPH_CACHE_VERSION:
+        return {}
+    out: dict[str, ModuleSummary] = {}
+    try:
+        for sha, entry in payload.get("modules", {}).items():
+            out[sha] = ModuleSummary.from_dict(entry)
+    except (KeyError, TypeError, ValueError):
+        return {}  # shape drift: rebuild everything
+    return out
+
+
+def save_cache(path: Path, summaries: Iterable[ModuleSummary]) -> None:
+    """Persist summaries keyed by content sha (atomic, SWP012-compliant)."""
+    from repro.durability.atomic import atomic_write_text
+
+    payload = {
+        "version": GRAPH_CACHE_VERSION,
+        "modules": {s.sha256: s.to_dict() for s in summaries},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    atomic_write_text(path, json.dumps(payload, sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# Linking + resolution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Resolved:
+    """Outcome of resolving a name: a function key, class, or module."""
+
+    kind: str  # "function" | "class" | "module"
+    module: str
+    qualname: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}" if self.qualname else self.module
+
+
+class ProjectGraph:
+    """Linked module summaries with name resolution and reachability."""
+
+    #: Re-export chains longer than this are cyclic or pathological.
+    _MAX_CHASE = 10
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {
+            s.module: s for s in summaries
+        }
+        #: Every function in the project, keyed ``module:qualname``.
+        self.functions: dict[str, FunctionInfo] = {}
+        for summary in self.modules.values():
+            for info in summary.functions.values():
+                self.functions[info.key] = info
+        self._edges: dict[str, set[str]] | None = None
+
+    # -- dotted-name resolution ----------------------------------------
+    def resolve_dotted(self, dotted: str, _depth: int = 0) -> Resolved | None:
+        """Resolve ``repro.core.engine.swope_entropy``-style names.
+
+        Finds the longest module prefix, then walks the remainder
+        through that module's defs, classes, and re-export bindings
+        (``__init__`` chains are chased up to a fixed depth).
+        """
+        if _depth > self._MAX_CHASE:
+            return None
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            module_name = ".".join(parts[:cut])
+            summary = self.modules.get(module_name)
+            if summary is None:
+                continue
+            remainder = parts[cut:]
+            if not remainder:
+                return Resolved("module", module_name)
+            head = remainder[0]
+            if head in summary.functions and len(remainder) == 1:
+                return Resolved("function", module_name, head)
+            if head in summary.classes:
+                if len(remainder) == 1:
+                    return Resolved("class", module_name, head)
+                if len(remainder) == 2:
+                    return self._resolve_method(summary, head, remainder[1])
+                return None
+            if head in summary.bindings:
+                target = ".".join([summary.bindings[head], *remainder[1:]])
+                return self.resolve_dotted(target, _depth + 1)
+            return None
+        return None
+
+    def _resolve_method(
+        self, summary: ModuleSummary, cls_name: str, method: str, _depth: int = 0
+    ) -> Resolved | None:
+        """Find ``method`` on ``cls_name`` or its (resolvable) bases."""
+        if _depth > self._MAX_CHASE:
+            return None
+        qualname = f"{cls_name}.{method}"
+        if qualname in summary.functions:
+            return Resolved("function", summary.module, qualname)
+        cls = summary.classes.get(cls_name)
+        if cls is None:
+            return None
+        for base in cls.bases:
+            base_resolved = self._resolve_in_module(summary, base)
+            if base_resolved is None or base_resolved.kind != "class":
+                continue
+            base_summary = self.modules.get(base_resolved.module)
+            if base_summary is None:
+                continue
+            found = self._resolve_method(
+                base_summary, base_resolved.qualname, method, _depth + 1
+            )
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_in_module(
+        self, summary: ModuleSummary, dotted: str
+    ) -> Resolved | None:
+        """Resolve a dotted string as seen from inside ``summary``."""
+        parts = dotted.split(".")
+        head = parts[0]
+        if head in summary.bindings:
+            return self.resolve_dotted(
+                ".".join([summary.bindings[head], *parts[1:]])
+            )
+        if head in summary.classes and len(parts) == 1:
+            return Resolved("class", summary.module, head)
+        if head in summary.classes and len(parts) == 2:
+            return self._resolve_method(summary, head, parts[1])
+        if head in summary.functions and len(parts) == 1:
+            return Resolved("function", summary.module, head)
+        return self.resolve_dotted(dotted)
+
+    def resolve_chain(
+        self, chain: tuple[str, ...], info: FunctionInfo
+    ) -> Resolved | None:
+        """Resolve a syntactic call chain as seen from inside ``info``.
+
+        Handles ``self.method()`` (own class + base chasing), names the
+        function imported locally, nested defs, module bindings, and
+        module-local defs/classes. Calls through arbitrary locals are
+        unresolvable by design.
+        """
+        summary = self.modules.get(info.module)
+        if summary is None:
+            return None
+        head = chain[0]
+        if head == "self" and info.cls is not None and len(chain) >= 2:
+            return self._resolve_method(summary, info.cls, chain[1])
+        if head in info.local_defs:
+            qualname = info.local_defs[head]
+            if qualname in summary.functions and len(chain) == 1:
+                return Resolved("function", info.module, qualname)
+            return None
+        if head in info.bindings:
+            return self.resolve_dotted(
+                ".".join([info.bindings[head], *chain[1:]])
+            )
+        return self._resolve_in_module(summary, ".".join(chain))
+
+    def resolve_callable(
+        self, chain: tuple[str, ...], info: FunctionInfo
+    ) -> Resolved | None:
+        """Like :meth:`resolve_chain`, but a class resolves to ``__init__``."""
+        resolved = self.resolve_chain(chain, info)
+        if resolved is not None and resolved.kind == "class":
+            summary = self.modules.get(resolved.module)
+            if summary is not None:
+                init = self._resolve_method(summary, resolved.qualname, "__init__")
+                if init is not None:
+                    return init
+        return resolved
+
+    # -- call edges + reachability -------------------------------------
+    def edges(self) -> dict[str, set[str]]:
+        """Resolved call edges: function key → set of callee keys."""
+        if self._edges is None:
+            self._edges = {}
+            for key, info in self.functions.items():
+                out: set[str] = set()
+                for site in info.calls:
+                    resolved = self.resolve_callable(site.chain, info)
+                    if resolved is not None and resolved.kind == "function":
+                        out.add(resolved.key)
+                self._edges[key] = out
+        return self._edges
+
+    def reachable(self, roots: Iterable[str]) -> dict[str, str]:
+        """BFS closure over call edges: ``{reached key: root key}``.
+
+        The mapped value is the *first* root that reaches each function,
+        which rules use to phrase "reachable from <entry point>"
+        messages deterministically (roots are processed in given order).
+        """
+        edges = self.edges()
+        origin: dict[str, str] = {}
+        queue: list[str] = []
+        for root in roots:
+            if root in self.functions and root not in origin:
+                origin[root] = root
+                queue.append(root)
+        while queue:
+            current = queue.pop(0)
+            for callee in sorted(edges.get(current, ())):
+                if callee not in origin:
+                    origin[callee] = origin[current]
+                    queue.append(callee)
+        return origin

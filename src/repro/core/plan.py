@@ -1053,10 +1053,14 @@ class PlanExecutor:
             )
             if in_flight is None:
                 # The checkpoint captured an already-finished plan.
+                # cells_scanned stays a plain local so the (deterministic)
+                # event payload never reads through the wall-clock-tainted
+                # stats object (SWP013).
+                cells_scanned = self._sampler.cells_scanned - cells_at_start
                 stats = PlanStats(
                     queries=len(plan.specs),
                     queries_completed=completed,
-                    cells_scanned=self._sampler.cells_scanned - cells_at_start,
+                    cells_scanned=cells_scanned,
                     per_query_cells=per_query_cells,
                     wall_seconds=time.perf_counter() - started,
                     sample_floor=self._floor,
@@ -1067,7 +1071,7 @@ class PlanExecutor:
                     PlanEndEvent(
                         queries_completed=completed,
                         total_queries=len(plan.specs),
-                        cells_scanned=stats.cells_scanned,
+                        cells_scanned=cells_scanned,
                         sample_floor=self._floor,
                     ),
                 )
@@ -1188,10 +1192,13 @@ class PlanExecutor:
                         metrics=metrics,
                     )
         finally:
+            # As above: the event reads the deterministic local, not the
+            # wall-clock-tainted stats object (SWP013).
+            cells_scanned = self._sampler.cells_scanned - cells_at_start
             stats = PlanStats(
                 queries=len(plan.specs),
                 queries_completed=completed,
-                cells_scanned=self._sampler.cells_scanned - cells_at_start,
+                cells_scanned=cells_scanned,
                 per_query_cells=per_query_cells,
                 wall_seconds=time.perf_counter() - started,
                 sample_floor=self._floor,
@@ -1202,7 +1209,7 @@ class PlanExecutor:
                 PlanEndEvent(
                     queries_completed=completed,
                     total_queries=len(plan.specs),
-                    cells_scanned=stats.cells_scanned,
+                    cells_scanned=cells_scanned,
                     sample_floor=self._floor,
                 ),
             )
@@ -1322,7 +1329,11 @@ class PlanExecutor:
             ),
             "residual_budget": residual_payload,
         }
-        snapshot = ckpt.PlanCheckpoint(
+        # The residual deadline is wall-clock *by contract*: a resumed run
+        # gets the real time remaining, not a replayed duration (see
+        # docs/RESILIENCE.md). The envelope's determinism-critical fields
+        # (sampler state, results, specs) are unaffected.
+        snapshot = ckpt.PlanCheckpoint(  # noqa: SWP013
             dataset={
                 "fingerprint": self._store_fingerprint(),
                 "num_rows": self._store.num_rows,

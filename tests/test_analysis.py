@@ -46,8 +46,12 @@ def check(path: str, text: str, **kwargs):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_twelve_rules_registered(self):
-        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 13)]
+    def test_all_sixteen_rules_registered(self):
+        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 17)]
+
+    def test_project_rules_are_marked(self):
+        project_codes = {c for c, r in RULES.items() if r.project}
+        assert project_codes == {"SWP013", "SWP014", "SWP015", "SWP016"}
 
     def test_unused_suppression_code_reserved(self):
         assert UNUSED_SUPPRESSION == "SWP000"
@@ -522,6 +526,23 @@ class TestSuppression:
     def test_select_does_not_stale_other_rules_noqa(self):
         # Narrowing to SWP002 must not judge an SWP001 suppression stale.
         report = check(CORE, "x = 1  # noqa: SWP001\n", select=["SWP002"])
+        assert codes(report) == []
+
+    def test_unknown_rule_suppression_reported(self):
+        # A code that no rule registers — a typo or a deleted rule —
+        # is SWP000 even though it can never fire.
+        report = check(CORE, "x = 1  # noqa: SWP999\n")
+        assert codes(report) == ["SWP000"]
+        assert "unknown rule SWP999" in report.violations[0].message
+
+    def test_unknown_rule_suppression_survives_select(self):
+        # Unlike staleness, unknown-ness is judgeable under any --select:
+        # no narrowing can make a nonexistent rule fire.
+        report = check(CORE, "x = 1  # noqa: SWP999\n", select=["SWP002"])
+        assert codes(report) == ["SWP000"]
+
+    def test_unknown_rule_reporting_can_be_disabled(self):
+        report = check(CORE, "x = 1  # noqa: SWP999\n", report_unused=False)
         assert codes(report) == []
 
     def test_noqa_text_inside_string_is_not_a_suppression(self):
