@@ -1,4 +1,4 @@
-"""The concrete SWOPE rules, ``SWP001``–``SWP012``.
+"""The concrete SWOPE per-module rules, ``SWP001``–``SWP012`` and ``SWP017``.
 
 Each rule encodes one repository invariant that the test suite can only
 spot-check; ``docs/ANALYSIS.md`` documents the rationale and the
@@ -856,3 +856,91 @@ def _check_atomic_writes(context: ModuleContext) -> Iterator[Violation]:
                     " tears the artifact — use repro.durability.atomic, or"
                     " '# noqa: SWP012' for scratch files",
                 )
+
+
+# ----------------------------------------------------------------------
+# SWP017 — cache access always names the dataset fingerprint
+# ----------------------------------------------------------------------
+#: The one package allowed to build partitions without going through
+#: ``PlanCache.partition(fingerprint=..., shuffle=...)``: the cache itself.
+_CACHE_PACKAGE = "repro.cache"
+
+#: Keywords every partition lookup must spell at the call site.
+_PARTITION_KEYS = {"fingerprint", "shuffle"}
+
+
+def _looks_like_cache_partition_call(node: ast.Call) -> bool:
+    """Whether a ``.partition(...)`` call is cache access, not ``str.partition``.
+
+    ``str.partition(sep)`` takes exactly one positional argument and no
+    keywords; a cache partition lookup is keyword-only. Anything with
+    keywords, no arguments at all, or two-plus positionals is treated as
+    cache access — a deliberate over-approximation, suppressible with
+    ``# noqa: SWP017`` where a non-string ``partition`` API is in play.
+    """
+    if node.keywords:
+        return True
+    if not node.args:
+        return True
+    return len(node.args) >= 2
+
+
+@rule(
+    "SWP017",
+    "cache-keys-name-fingerprints",
+    summary="cache partitions are reached only via PlanCache.partition with"
+    " explicit fingerprint=/shuffle= keys",
+    scope="src/repro except repro.cache",
+)
+def _check_cache_fingerprints(context: ModuleContext) -> Iterator[Violation]:
+    """No fingerprint-free cache paths outside ``repro.cache``.
+
+    Cached counters and answers are only valid for one ``(dataset
+    fingerprint, shuffle fingerprint)`` pair — state reached without
+    naming both keys can silently serve another dataset's counts. Two
+    shapes are flagged outside :mod:`repro.cache`:
+
+    * constructing :class:`~repro.cache.CachePartition` directly — the
+      partition must come from :meth:`~repro.cache.PlanCache.partition`,
+      which requires the keys and wires on-disk loading;
+    * calling ``.partition(...)`` without *both* ``fingerprint=`` and
+      ``shuffle=`` keywords (``str.partition`` calls are recognised and
+      skipped; other ``partition`` APIs may suppress with ``# noqa:
+      SWP017`` and a justification).
+    """
+    if not context.in_package("repro") or context.in_package(_CACHE_PACKAGE):
+        return
+    this = RULES["SWP017"]
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name):
+            if node.func.id == "CachePartition":
+                yield context.violation(
+                    this,
+                    node,
+                    "CachePartition() outside repro.cache: get the partition"
+                    " from PlanCache.partition(fingerprint=..., shuffle=...)"
+                    " so the dataset identity is part of the key and on-disk"
+                    " state is loaded, or '# noqa: SWP017' with a"
+                    " justification",
+                )
+            continue
+        chain = _attribute_chain(node.func)
+        if chain is None or chain[-1] != "partition":
+            continue
+        if not _looks_like_cache_partition_call(node):
+            continue
+        missing = sorted(
+            _PARTITION_KEYS
+            - {kw.arg for kw in node.keywords if kw.arg is not None}
+        )
+        if missing:
+            yield context.violation(
+                this,
+                node,
+                f".partition() without {'/'.join(missing)}: cache state is"
+                " keyed by (dataset fingerprint, shuffle fingerprint) — spell"
+                " both keywords at the call site, or '# noqa: SWP017' for"
+                " non-cache partition APIs",
+            )

@@ -1,0 +1,32 @@
+"""Cross-plan counter and answer cache (see :mod:`repro.cache.store`).
+
+Public surface: :class:`PlanCache` (partitioned by dataset + shuffle
+fingerprints), :class:`CachePartition` (counter blocks + retired
+answers with exact and semantic reuse), and the replay primitives of
+:mod:`repro.cache.semantic`.
+"""
+
+from repro.cache.semantic import Bounds, History, replay_filter, replay_top_k
+from repro.cache.store import (
+    CACHE_FORMAT,
+    CACHE_SCHEMA_VERSION,
+    CachedAnswer,
+    CachePartition,
+    PlanCache,
+    ServedAnswer,
+    partition_filename,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CACHE_SCHEMA_VERSION",
+    "Bounds",
+    "CachePartition",
+    "CachedAnswer",
+    "History",
+    "PlanCache",
+    "ServedAnswer",
+    "partition_filename",
+    "replay_filter",
+    "replay_top_k",
+]

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -191,6 +192,18 @@ def build_parser() -> argparse.ArgumentParser:
              " PATH (verified against the dataset fingerprint); --queries"
              " may be omitted — the plan is recovered from the checkpoint",
     )
+    query.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent plan cache: serve retired answers (exact and"
+             " semantic-dominance matches) without re-scanning, warm-start"
+             " counters, and write back converged results (default:"
+             " REPRO_CACHE_DIR env var; answers are bit-identical with or"
+             " without the cache)",
+    )
+    query.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir and REPRO_CACHE_DIR for this run",
+    )
 
     select = sub.add_parser(
         "select", help="run a feature-selection application"
@@ -333,6 +346,15 @@ def _print_answer(result, *, phases: bool = False) -> None:
             print(f"  undecided: {', '.join(status.undecided)}")
 
 
+def _resolved_cache_dir(args: argparse.Namespace) -> str | None:
+    """``--cache-dir`` with the ``REPRO_CACHE_DIR`` fallback, gated by ``--no-cache``."""
+    if args.no_cache:
+        return None
+    if args.cache_dir is not None:
+        return str(args.cache_dir)
+    return os.environ.get("REPRO_CACHE_DIR") or None
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     batch = args.queries is not None or args.resume is not None
     if batch and args.kind is not None:
@@ -359,9 +381,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     registry = (
         MetricsRegistry() if (args.metrics_out or args.emit_metrics) else None
     )
+    cache_dir = _resolved_cache_dir(args)
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import PlanCache
+
+        cache = PlanCache(Path(cache_dir))
     resilience = {
         "budget": budget, "strict": args.strict, "backend": args.backend,
-        "trace": sink, "metrics": registry,
+        "trace": sink, "metrics": registry, "cache": cache,
     }
     try:
         if args.kind == "topk-entropy":
@@ -418,6 +446,7 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     registry = (
         MetricsRegistry() if (args.metrics_out or args.emit_metrics) else None
     )
+    cache_dir = _resolved_cache_dir(args)
     if args.resume is not None:
         if args.checkpoint is not None:
             raise ParameterError(
@@ -427,6 +456,7 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         executor = PlanExecutor.resume(
             args.resume, store,
             backend=args.backend, trace=sink, metrics=registry,
+            cache_dir=cache_dir,
         )
         plan = (
             plan_queries(store, load_plan(args.queries))
@@ -445,6 +475,7 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
             metrics=registry,
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
+            cache_dir=cache_dir,
         )
     try:
         if args.resume is not None and budget is None:
@@ -470,6 +501,11 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         _print_answer(outcome.results[name])
     print("\nshared-scan accounting:")
     print(f"  cells scanned (plan total): {stats.cells_scanned:,}")
+    if cache_dir is not None:
+        saved = sum(
+            result.stats.cells_saved for result in outcome.results.values()
+        )
+        print(f"  cells saved by cache: {saved:,}")
     for name in plan.names:
         marginal = stats.per_query_cells.get(name, 0)
         print(f"    {name:20s} +{marginal:,} cells")
@@ -493,6 +529,9 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
             f"{int(registry.counter('plan_queries_total').value)}"
             " plan_cells_scanned_total="
             f"{int(registry.counter('plan_cells_scanned_total').value)}"
+            f" cache_hits_total={int(registry.counter('cache_hits_total').value)}"
+            " cache_cells_saved_total="
+            f"{int(registry.counter('cache_cells_saved_total').value)}"
         )
     return 0
 

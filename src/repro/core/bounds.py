@@ -399,7 +399,9 @@ def mutual_information_interval(
     return MutualInformationInterval(
         estimate=sample_mutual_information,
         lower=max(0.0, upper - width),
-        upper=upper,
+        # MI is non-negative, so a (float-rounding) negative upper bound is
+        # vacuous; clamp it like the lower bound so lower <= upper always.
+        upper=max(0.0, upper),
         half_width=lam,
         bias_target=target_interval.bias,
         bias_candidate=candidate_interval.bias,

@@ -503,12 +503,16 @@ class _LoopContext:
     started_at: float
     cells_at_start: int = 0
     timings_at_start: tuple[float, float] = (0.0, 0.0)
+    saved_at_start: int = 0
 
     def finish(self, iterations: int, sample_size: int) -> RunStats:
         self.stats.iterations = iterations
         self.stats.final_sample_size = sample_size
         self.stats.population_size = self.sampler.num_rows
         self.stats.cells_scanned = self.sampler.cells_scanned
+        # Unlike the cumulative cells meter, saved cells are reported as
+        # this query's own delta — that is what cache metrics sum up.
+        self.stats.cells_saved = self.sampler.cells_saved - self.saved_at_start
         self.stats.wall_seconds = time.perf_counter() - self.started_at
         counting_before, bounds_before = self.timings_at_start
         timings = self.provider.timings
@@ -662,6 +666,7 @@ def adaptive_top_k(
         time.perf_counter(),
         sampler.cells_scanned,
         provider.timings.snapshot(),
+        sampler.cells_saved,
     )
     tracer = _TraceState(trace)
     if tracer.active and resume_state is None:
@@ -860,6 +865,7 @@ def adaptive_filter(
         time.perf_counter(),
         sampler.cells_scanned,
         provider.timings.snapshot(),
+        sampler.cells_saved,
     )
     tracer = _TraceState(trace)
     if tracer.active and resume_state is None:

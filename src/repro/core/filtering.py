@@ -15,7 +15,7 @@ smallest gap ``δ`` that dominates the exact EntropyFilter baseline.
 
 from __future__ import annotations
 
-from typing import cast
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.cache sits above)
+    from repro.cache import CachePartition, PlanCache
 
 __all__ = ["swope_filter_entropy"]
 
@@ -48,6 +51,7 @@ def swope_filter_entropy(
     cancellation: CancellationToken | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    cache: "PlanCache | CachePartition | None" = None,
 ) -> FilterResult:
     """Answer an approximate entropy filtering query with SWOPE (Algorithm 2).
 
@@ -85,6 +89,11 @@ def swope_filter_entropy(
         :class:`~repro.obs.sinks.TraceSink` receives the structured
         event stream, a :class:`~repro.obs.metrics.MetricsRegistry`
         aggregates counters and latency histograms.
+    cache:
+        Plan cache (or pre-bound partition) as in
+        :func:`repro.core.topk.swope_top_k_entropy` — note semantic
+        reuse here: a stored answer at threshold ``η`` can serve any
+        ``η′ ≥ η`` whose decisions its history proves.
 
     Returns
     -------
@@ -107,6 +116,6 @@ def swope_filter_entropy(
             failure_probability=failure_probability, seed=seed,
             schedule=schedule, sampler=sampler, backend=backend,
             trace=trace, budget=budget, cancellation=cancellation,
-            strict=strict, metrics=metrics,
+            strict=strict, metrics=metrics, cache=cache,
         ),
     )

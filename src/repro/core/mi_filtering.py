@@ -9,7 +9,7 @@ threshold ``η`` per the Definition 6 relaxation.
 
 from __future__ import annotations
 
-from typing import cast
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.cache sits above)
+    from repro.cache import CachePartition, PlanCache
 
 __all__ = ["swope_filter_mutual_information"]
 
@@ -43,6 +46,7 @@ def swope_filter_mutual_information(
     cancellation: CancellationToken | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    cache: "PlanCache | CachePartition | None" = None,
 ) -> FilterResult:
     """Answer an approximate MI filtering query with SWOPE (Algorithm 4).
 
@@ -64,8 +68,8 @@ def swope_filter_mutual_information(
     budget, cancellation, strict:
         Resilience controls as in
         :func:`repro.core.filtering.swope_filter_entropy`.
-    trace, metrics:
-        Observability hooks as in
+    trace, metrics, cache:
+        Observability hooks and the plan cache, as in
         :func:`repro.core.topk.swope_top_k_entropy`.
     """
     spec = QuerySpec(
@@ -83,6 +87,6 @@ def swope_filter_mutual_information(
             failure_probability=failure_probability, seed=seed,
             schedule=schedule, sampler=sampler, backend=backend,
             trace=trace, budget=budget, cancellation=cancellation,
-            strict=strict, metrics=metrics,
+            strict=strict, metrics=metrics, cache=cache,
         ),
     )

@@ -15,7 +15,7 @@ entropy top-k query (Definition 5, Theorem 5) with three differences:
 
 from __future__ import annotations
 
-from typing import cast
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.cache sits above)
+    from repro.cache import CachePartition, PlanCache
 
 __all__ = ["swope_top_k_mutual_information"]
 
@@ -50,6 +53,7 @@ def swope_top_k_mutual_information(
     cancellation: CancellationToken | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    cache: "PlanCache | CachePartition | None" = None,
 ) -> TopKResult:
     """Answer an approximate MI top-k query with SWOPE (Algorithm 3).
 
@@ -73,8 +77,8 @@ def swope_top_k_mutual_information(
         ``target``).
     schedule, sampler, backend, prune, budget, cancellation, strict:
         As in :func:`repro.core.topk.swope_top_k_entropy`.
-    trace, metrics:
-        Observability hooks as in
+    trace, metrics, cache:
+        Observability hooks and the plan cache, as in
         :func:`repro.core.topk.swope_top_k_entropy`.
 
     Returns
@@ -98,6 +102,6 @@ def swope_top_k_mutual_information(
             failure_probability=failure_probability, seed=seed,
             schedule=schedule, sampler=sampler, backend=backend,
             trace=trace, budget=budget, cancellation=cancellation,
-            strict=strict, metrics=metrics,
+            strict=strict, metrics=metrics, cache=cache,
         ),
     )

@@ -55,11 +55,12 @@ import time
 from collections.abc import Mapping, Sequence
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
-from typing import Any, Iterator, Union
+from typing import TYPE_CHECKING, Any, Iterator, Union
 
 import numpy as np
 
 from repro.core.budget import CancellationToken, QueryBudget
+from repro.core.cost import CostModel
 from repro.core.engine import (
     CheckpointHook,
     EntropyScoreProvider,
@@ -88,20 +89,29 @@ from repro.exceptions import (
     SchemaError,
 )
 from repro.obs.events import (
+    AnswerReusedEvent,
+    CacheHitEvent,
+    CacheMissEvent,
     CheckpointSavedEvent,
     PlanEndEvent,
     PlanResumedEvent,
     PlanStartEvent,
     QueryRetiredEvent,
+    ScheduleChosenEvent,
     TraceEvent,
 )
 from repro.obs.metrics import (
     MetricsRegistry,
+    record_cache,
     record_checkpoint,
     record_plan,
+    record_query,
     record_resume,
 )
 from repro.obs.sinks import TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.cache sits above)
+    from repro.cache import CachePartition, PlanCache
 
 __all__ = [
     "PAPER_EPSILON",
@@ -404,6 +414,19 @@ class QueryPlan:
     marginal_attributes: tuple[str, ...]
     joint_targets: tuple[tuple[str, tuple[str, ...]], ...]
     population_size: int
+    #: How ``specs`` was ordered: ``"cost"`` (cheapest predicted query
+    #: first) or ``"submission"`` (caller order). Defaults keep
+    #: hand-built plans valid.
+    order: str = "submission"
+    #: Query names in the caller's submission order (names are assigned
+    #: from submission indices, so ``q0`` may run late under cost order).
+    submission_names: tuple[str, ...] = ()
+    #: Cost-model cell predictions aligned with ``specs`` (empty for
+    #: submission order).
+    estimated_cells: tuple[int, ...] = ()
+    #: Label of the predictor that ordered the plan (``"analytic"`` /
+    #: ``"fitted"`` / ``"none"``).
+    cost_model: str = "none"
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -459,13 +482,21 @@ def _resolved_candidates(store: ColumnStore, spec: QuerySpec) -> list[str]:
     return names
 
 
-def plan_queries(store: ColumnStore, specs: Sequence[QuerySpec]) -> QueryPlan:
-    """Validate, normalise, and dedup ``specs`` into a :class:`QueryPlan`.
+def plan_queries(
+    store: ColumnStore,
+    specs: Sequence[QuerySpec],
+    *,
+    order: str = "cost",
+    cost_model: CostModel | None = None,
+    failure_probability: float | None = None,
+) -> QueryPlan:
+    """Validate, normalise, dedup, and *schedule* ``specs`` into a plan.
 
     Per spec: the candidate list is resolved against the store (unknown
     attributes raise :class:`~repro.exceptions.SchemaError`), ``ε`` is
     filled from :data:`PAPER_EPSILON` and range-checked, ``k`` is
-    range-checked, and the name defaults to ``q{index}``. Plan-level
+    range-checked, and the name defaults to ``q{index}`` — the
+    *submission* index, so names stay stable under reordering. Plan-level
     structure raises :class:`~repro.exceptions.PlanError`: an empty spec
     list, duplicate names, a spec repeating an earlier one (same
     normalised body under a different name), a filter threshold that is
@@ -473,15 +504,29 @@ def plan_queries(store: ColumnStore, specs: Sequence[QuerySpec]) -> QueryPlan:
     a planned batch almost certainly misspelled it; the single-query
     API still allows it), or an MI target listed among its own
     candidates.
+
+    Scheduling: with ``order="cost"`` (the default) the batch runs
+    cheapest-predicted-first under ``cost_model`` (default: the analytic
+    :class:`~repro.core.cost.CostModel`, a pure function of the store
+    schema and query shapes — deterministic across sessions, which the
+    cache's bit-identity gate relies on). Cheap queries then pay the
+    early prefix sizes and expensive queries join the scan at the
+    ratcheted frontier, maximising counter reuse. Ties (and the fitted
+    model's equal predictions) break by submission index, so the
+    schedule is deterministic for a fixed plan + model.
+    ``order="submission"`` keeps the caller's order.
+    ``failure_probability`` only feeds the cost predictions; pass the
+    executor's value when it differs from the paper default ``1/N``.
     """
     if not specs:
         raise PlanError("a query plan needs at least one spec")
+    if order not in ("cost", "submission"):
+        raise PlanError(
+            f"unknown plan order {order!r}; use 'cost' or 'submission'"
+        )
     normalized: list[QuerySpec] = []
     seen_names: set[str] = set()
     seen_bodies: set[tuple[object, ...]] = set()
-    marginals: list[str] = []
-    marginal_seen: set[str] = set()
-    joints: dict[str, list[str]] = {}
     for index, spec in enumerate(specs):
         name = spec.name if spec.name is not None else f"q{index}"
         if name in seen_names:
@@ -534,6 +579,49 @@ def plan_queries(store: ColumnStore, specs: Sequence[QuerySpec]) -> QueryPlan:
             )
         seen_bodies.add(body)
         normalized.append(resolved)
+    submission_names = tuple(
+        spec.name if spec.name is not None else "" for spec in normalized
+    )
+    estimated: tuple[int, ...] = ()
+    model_label = "none"
+    scheduled = normalized
+    if order == "cost":
+        model = cost_model if cost_model is not None else CostModel()
+        predictions: list[int] = []
+        for resolved in normalized:
+            candidates = resolved.attributes or ()
+            if candidates:
+                predictions.append(
+                    model.estimate(
+                        store,
+                        kind=resolved.kind,
+                        score=resolved.score,
+                        epsilon=(
+                            resolved.epsilon
+                            if resolved.epsilon is not None
+                            else PAPER_EPSILON[(resolved.kind, resolved.score)]
+                        ),
+                        candidates=candidates,
+                        target=resolved.target,
+                        threshold=resolved.threshold,
+                        failure_probability=failure_probability,
+                    ).predicted_cells
+                )
+            else:  # pragma: no cover - empty stores cannot build specs
+                predictions.append(0)
+        ranked = sorted(
+            range(len(normalized)), key=lambda i: (predictions[i], i)
+        )
+        scheduled = [normalized[i] for i in ranked]
+        estimated = tuple(predictions[i] for i in ranked)
+        model_label = model.label
+    # Count-group extraction follows the *scheduled* order, so the
+    # executor's batched passes touch counters in execution order.
+    marginals: list[str] = []
+    marginal_seen: set[str] = set()
+    joints: dict[str, list[str]] = {}
+    for resolved in scheduled:
+        candidates = resolved.attributes or ()
         needed = (
             [resolved.target, *candidates]
             if resolved.target is not None
@@ -549,12 +637,88 @@ def plan_queries(store: ColumnStore, specs: Sequence[QuerySpec]) -> QueryPlan:
                 if attribute not in bucket:
                     bucket.append(attribute)
     return QueryPlan(
-        specs=tuple(normalized),
+        specs=tuple(scheduled),
         marginal_attributes=tuple(marginals),
         joint_targets=tuple(
             (target, tuple(names)) for target, names in joints.items()
         ),
         population_size=store.num_rows,
+        order=order,
+        submission_names=submission_names,
+        estimated_cells=estimated,
+        cost_model=model_label,
+    )
+
+
+class _RecordingProvider:
+    """Wrap a :class:`ScoreProvider`, recording per-iteration bounds.
+
+    The adaptive loops call ``intervals()`` exactly once per iteration
+    with the live candidate set; the recorder keeps
+    ``(sample_size, {attribute: (lower, upper, width, midpoint)})`` in
+    call order — precisely the history :mod:`repro.cache.semantic`
+    replays for dominance reuse. The unclipped ``width``/``midpoint``
+    must be captured here because they are not recoverable from the
+    clipped ``(lower, upper)`` that trace events carry.
+    """
+
+    def __init__(self, inner: ScoreProvider) -> None:
+        self._inner = inner
+        self.bounds_per_attribute = inner.bounds_per_attribute
+        self.timings = inner.timings
+        self.history: list[
+            tuple[int, dict[str, tuple[float, float, float, float]]]
+        ] = []
+
+    def interval(self, attribute: str, sample_size: int) -> Any:
+        return self._inner.interval(attribute, sample_size)
+
+    def intervals(
+        self, attributes: Sequence[str], sample_size: int
+    ) -> Mapping[str, Any]:
+        out = self._inner.intervals(attributes, sample_size)
+        self.history.append(
+            (
+                sample_size,
+                {
+                    name: (iv.lower, iv.upper, iv.width, iv.midpoint)
+                    for name, iv in out.items()
+                },
+            )
+        )
+        return out
+
+
+def _cache_partition(
+    cache: "PlanCache | CachePartition | None",
+    store: ColumnStore,
+    sampler: PrefixSampler,
+) -> "tuple[CachePartition | None, PlanCache | None]":
+    """Resolve a cache argument to the partition matching this run.
+
+    Returns ``(partition, owned_cache)`` — ``owned_cache`` is the
+    :class:`~repro.cache.PlanCache` to flush after the run when the
+    caller handed us the whole cache (façade path); ``None`` when the
+    caller passed a pre-bound partition (executor path, which flushes
+    itself) or no cache at all.
+    """
+    if cache is None:
+        return None, None
+    from repro.cache import CachePartition, PlanCache  # local: layering
+
+    if isinstance(cache, CachePartition):
+        return cache, None
+    if isinstance(cache, PlanCache):
+        from repro.durability.checkpoint import store_fingerprint
+
+        partition = cache.partition(
+            fingerprint=store_fingerprint(store),
+            shuffle=sampler.shuffle_fingerprint(),
+        )
+        return partition, cache
+    raise ParameterError(
+        "cache= must be a PlanCache, a CachePartition, or None;"
+        f" got {type(cache).__name__}"
     )
 
 
@@ -574,6 +738,7 @@ def run_query_spec(
     metrics: MetricsRegistry | None = None,
     checkpoint: CheckpointHook | None = None,
     resume_state: LoopCheckpoint | None = None,
+    cache: "PlanCache | CachePartition | None" = None,
 ) -> QueryResult:
     """Run one spec through the adaptive engine.
 
@@ -586,6 +751,15 @@ def run_query_spec(
     points' (the bit-identity suite in ``tests/test_plan.py`` pins
     this). ``checkpoint``/``resume_state`` pass straight through to the
     adaptive loops (see :class:`~repro.core.engine.LoopCheckpoint`).
+
+    ``cache`` attaches a :mod:`repro.cache` plan cache (or a pre-bound
+    partition): retired answers are consulted before the engine runs —
+    exact shape matches and semantic dominance serves (η′ ≥ η, k′ ≤ k)
+    — counters warm-start from cached prefixes, and a converged run's
+    answer and counters are written back. Answer reuse is only
+    consulted for unbudgeted, uncancelled, non-resumed runs, so a
+    budgeted run's degradation behaviour is bit-identical with or
+    without a cache.
     """
     names = _resolved_candidates(store, spec)
     if failure_probability is None:
@@ -597,6 +771,9 @@ def run_query_spec(
             "pass either sampler= or backend=; a pre-built sampler already"
             " owns its counting backend"
         )
+    partition, owned_cache = _cache_partition(cache, store, sampler)
+    if partition is not None:
+        sampler.attach_counter_cache(partition)
     target = spec.target
     mutual = spec.score == "mutual_information"
     if schedule is None:
@@ -612,6 +789,71 @@ def run_query_spec(
         if spec.epsilon is not None
         else PAPER_EPSILON[(spec.kind, spec.score)]
     )
+    param = (
+        float(spec.threshold or 0.0)
+        if spec.kind == "filter"
+        else float(spec.k or 0)
+    )
+    sink = _plan_sink(trace)
+    name = spec.name if spec.name is not None else spec.describe()
+    if (
+        partition is not None
+        and budget is None
+        and cancellation is None
+        and resume_state is None
+    ):
+        served = partition.lookup_answer(
+            kind=spec.kind,
+            score=spec.score,
+            epsilon=epsilon,
+            failure_probability=failure_probability,
+            schedule_start=schedule.sizes[0],
+            candidates=tuple(names),
+            target=target,
+            prune=spec.prune,
+            param=param,
+            population_size=store.num_rows,
+        )
+        if served is not None:
+            result: QueryResult = served.result
+            _emit(
+                sink,
+                CacheHitEvent(
+                    name=name,
+                    kind=spec.kind,
+                    score=spec.score,
+                    mode=served.mode,
+                    source_param=served.source_param,
+                    requested_param=param,
+                ),
+            )
+            _emit(
+                sink,
+                AnswerReusedEvent(
+                    name=name,
+                    mode=served.mode,
+                    iterations=result.stats.iterations,
+                    final_sample_size=result.stats.final_sample_size,
+                    cells_saved=result.stats.cells_saved,
+                    answer=tuple(result.attributes),
+                ),
+            )
+            if metrics is not None:
+                record_cache(metrics, hit=True, mode=served.mode)
+                assert result.guarantee is not None  # put_answer refuses others
+                record_query(
+                    metrics,
+                    kind=spec.kind,
+                    score=spec.score,
+                    stats=result.stats,
+                    guarantee=result.guarantee,
+                )
+            if owned_cache is not None:
+                owned_cache.flush()
+            return result
+        _emit(sink, CacheMissEvent(name=name, kind=spec.kind, score=spec.score))
+        if metrics is not None:
+            record_cache(metrics, hit=False)
     provider: ScoreProvider
     if mutual:
         if target is None:  # pragma: no cover - QuerySpec.__post_init__ guards
@@ -623,23 +865,46 @@ def run_query_spec(
     else:
         per_bound = schedule.per_round_failure(failure_probability, len(names))
         provider = EntropyScoreProvider(sampler, per_bound)
+    recorder: _RecordingProvider | None = None
+    if partition is not None and resume_state is None:
+        recorder = _RecordingProvider(provider)
+        provider = recorder
     if spec.kind == "top_k":
         if spec.k is None:  # pragma: no cover - QuerySpec.__post_init__ guards
             raise PlanError("a top_k spec needs k")
-        return adaptive_top_k(
+        result = adaptive_top_k(
             provider, sampler, names, spec.k, epsilon, schedule,
             prune=spec.prune, target=target, trace=trace,
             budget=budget, cancellation=cancellation, strict=strict,
             metrics=metrics, checkpoint=checkpoint, resume_state=resume_state,
         )
-    if spec.threshold is None:  # pragma: no cover - QuerySpec.__post_init__ guards
-        raise PlanError("a filter spec needs a threshold")
-    return adaptive_filter(
-        provider, sampler, names, spec.threshold, epsilon, schedule,
-        target=target, trace=trace,
-        budget=budget, cancellation=cancellation, strict=strict,
-        metrics=metrics, checkpoint=checkpoint, resume_state=resume_state,
-    )
+    else:
+        if spec.threshold is None:  # pragma: no cover - __post_init__ guards
+            raise PlanError("a filter spec needs a threshold")
+        result = adaptive_filter(
+            provider, sampler, names, spec.threshold, epsilon, schedule,
+            target=target, trace=trace,
+            budget=budget, cancellation=cancellation, strict=strict,
+            metrics=metrics, checkpoint=checkpoint, resume_state=resume_state,
+        )
+    if partition is not None and recorder is not None:
+        partition.put_answer(
+            kind=spec.kind,
+            score=spec.score,
+            epsilon=epsilon,
+            failure_probability=failure_probability,
+            schedule_start=schedule.sizes[0],
+            candidates=tuple(names),
+            target=target,
+            prune=spec.prune,
+            param=param,
+            history=recorder.history,
+            result=result,
+        )
+    if owned_cache is not None and partition is not None:
+        partition.absorb_sampler_state(sampler.state_snapshot())
+        owned_cache.flush()
+    return result
 
 
 @dataclass
@@ -800,6 +1065,15 @@ class PlanExecutor:
         Save a boundary checkpoint every this many iteration boundaries
         (default 1 = every boundary). Retirement and plan-start
         checkpoints are always written.
+    cache:
+        A :class:`~repro.cache.PlanCache` shared across executors:
+        retired answers are served without re-running (exact matches and
+        semantic dominance), counters warm-start from cached prefixes,
+        and converged results are written back after each query.
+    cache_dir:
+        Convenience: a directory path to open a persistent
+        :class:`~repro.cache.PlanCache` in. Mutually exclusive with
+        ``cache``.
     """
 
     def __init__(
@@ -815,6 +1089,8 @@ class PlanExecutor:
         metrics: MetricsRegistry | None = None,
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 1,
+        cache: "PlanCache | None" = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ParameterError(
@@ -842,6 +1118,9 @@ class PlanExecutor:
         self._boundaries = 0  # iteration boundaries seen across all plans
         self._fingerprint: str | None = None
         self._restored: dict[str, Any] | None = None
+        self._cache: "PlanCache | None" = None
+        self._partition: "CachePartition | None" = None
+        self._bind_cache(cache, cache_dir)
 
     # ------------------------------------------------------------------
     @property
@@ -887,6 +1166,49 @@ class PlanExecutor:
     def default_metrics(self) -> MetricsRegistry | None:
         """The executor-wide metrics registry applied when a call passes none."""
         return self._metrics
+
+    @property
+    def cache(self) -> "PlanCache | None":
+        """The attached plan cache (``None`` when caching is off)."""
+        return self._cache
+
+    def _bind_cache(
+        self, cache: "PlanCache | None", cache_dir: str | Path | None
+    ) -> None:
+        """Open/attach the plan cache and bind this executor's partition.
+
+        Called from ``__init__`` and (after the restored sampler is in
+        place) from :meth:`resume` — the partition key includes the
+        shuffle fingerprint, so binding must happen against the sampler
+        that will actually serve the queries.
+        """
+        if cache is not None and cache_dir is not None:
+            raise ParameterError(
+                "pass either cache= or cache_dir=, not both"
+            )
+        if cache is None and cache_dir is None:
+            return
+        from repro.cache import PlanCache  # local: layering
+
+        if cache is None:
+            cache = PlanCache(Path(cache_dir))  # type: ignore[arg-type]
+        elif not isinstance(cache, PlanCache):
+            raise ParameterError(
+                f"cache= must be a PlanCache or None; got {type(cache).__name__}"
+            )
+        self._cache = cache
+        self._partition = cache.partition(
+            fingerprint=self._store_fingerprint(),
+            shuffle=self._sampler.shuffle_fingerprint(),
+        )
+        self._sampler.attach_counter_cache(self._partition)
+
+    def _flush_cache(self) -> None:
+        """Write back counters + any new answers after a query ran."""
+        if self._cache is None or self._partition is None:
+            return
+        self._partition.absorb_sampler_state(self._sampler.state_snapshot())
+        self._cache.flush()
 
     # ------------------------------------------------------------------
     def _schedule_for(self, spec: QuerySpec) -> SampleSchedule:
@@ -967,6 +1289,7 @@ class PlanExecutor:
                 metrics=metrics,
                 checkpoint=checkpoint,
                 resume_state=resume_state,
+                cache=self._partition,
             )
         except QueryInterruptedError as exc:
             # Strict-mode truncation: the shared prefix counters have
@@ -977,10 +1300,12 @@ class PlanExecutor:
             if isinstance(partial, (TopKResult, FilterResult)):
                 self._floor = max(self._floor, partial.stats.final_sample_size)
             self._last_cells = self._sampler.cells_scanned - before
+            self._flush_cache()  # keep the counters the partial run paid for
             raise
         self._queries_run += 1
         self._last_cells = self._sampler.cells_scanned - before
         self._floor = max(self._floor, result.stats.final_sample_size)
+        self._flush_cache()
         return result
 
     def execute(
@@ -1092,6 +1417,17 @@ class PlanExecutor:
                     joint_targets=plan.joint_targets,
                 ),
             )
+            if plan.order == "cost":
+                _emit(
+                    sink,
+                    ScheduleChosenEvent(
+                        order=plan.order,
+                        queries=plan.names,
+                        submission=plan.submission_names,
+                        estimated_cells=plan.estimated_cells,
+                        cost_model=plan.cost_model,
+                    ),
+                )
             if self._checkpoint_path is not None:
                 # Plan-start snapshot: even a crash inside the very first
                 # iteration leaves a resumable checkpoint behind.
@@ -1328,6 +1664,24 @@ class PlanExecutor:
                 }
             ),
             "residual_budget": residual_payload,
+            # Planner metadata: lets resumed_plan() rebuild the *scheduled*
+            # QueryPlan (count groups included) without re-running
+            # plan_queries — the checkpointed specs are already in
+            # execution order, and re-planning them would re-extract the
+            # count groups from scratch (and could re-order under a
+            # different cost model).
+            "plan": {
+                "marginal_attributes": list(plan.marginal_attributes),
+                "joint_targets": [
+                    [target, list(names)]
+                    for target, names in plan.joint_targets
+                ],
+                "population_size": plan.population_size,
+                "order": plan.order,
+                "submission_names": list(plan.submission_names),
+                "estimated_cells": list(plan.estimated_cells),
+                "cost_model": plan.cost_model,
+            },
         }
         # The residual deadline is wall-clock *by contract*: a resumed run
         # gets the real time remaining, not a replayed duration (see
@@ -1381,13 +1735,44 @@ class PlanExecutor:
         Only available on an executor built by :meth:`resume`, before
         its :meth:`execute` call consumes the restored state — pass the
         returned plan straight to :meth:`execute`.
+
+        The plan is rebuilt from the checkpoint's planner metadata
+        (specs are stored in *scheduled* order along with the extracted
+        count groups), not by re-running :func:`plan_queries` — so the
+        resumed plan's count-group extraction and schedule are exactly
+        the interrupted run's, even if the default cost model changes
+        between versions. Checkpoints written before the metadata
+        existed fall back to re-planning in submission order.
         """
         if self._restored is None:
             raise ParameterError(
                 "resumed_plan() needs an executor built by"
                 " PlanExecutor.resume() whose execute() has not run yet"
             )
-        return plan_queries(self._store, list(self._restored["specs"]))
+        meta = self._restored.get("plan")
+        if meta is None:
+            return plan_queries(
+                self._store,
+                list(self._restored["specs"]),
+                order="submission",
+            )
+        return QueryPlan(
+            specs=tuple(self._restored["specs"]),
+            marginal_attributes=tuple(
+                str(a) for a in meta["marginal_attributes"]
+            ),
+            joint_targets=tuple(
+                (str(target), tuple(str(n) for n in names))
+                for target, names in meta["joint_targets"]
+            ),
+            population_size=int(meta["population_size"]),
+            order=str(meta["order"]),
+            submission_names=tuple(
+                str(n) for n in meta["submission_names"]
+            ),
+            estimated_cells=tuple(int(c) for c in meta["estimated_cells"]),
+            cost_model=str(meta["cost_model"]),
+        )
 
     @classmethod
     def resume(
@@ -1398,6 +1783,8 @@ class PlanExecutor:
         backend: str | CountingBackend | None = None,
         trace: TraceSink | None = None,
         metrics: MetricsRegistry | None = None,
+        cache: "PlanCache | None" = None,
+        cache_dir: str | Path | None = None,
     ) -> "PlanExecutor":
         """Rebuild a mid-plan executor from a checkpoint file.
 
@@ -1478,11 +1865,15 @@ class PlanExecutor:
         executor._queries_run = queries_run
         executor._boundaries = boundaries
         executor._fingerprint = snapshot.dataset.get("fingerprint")
+        # Bind the cache only now: the partition key includes the shuffle
+        # fingerprint, which must come from the *restored* permutation.
+        executor._bind_cache(cache, cache_dir)
         executor._restored = {
             "specs": specs,
             "results": restored_results,
             "per_query_cells": per_query_cells,
             "plan_cells_at_start": plan_cells_at_start,
             "in_flight": in_flight,
+            "plan": progress.get("plan"),
         }
         return executor

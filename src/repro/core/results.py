@@ -154,6 +154,12 @@ class RunStats:
         Number of structured trace events the run emitted to its
         :class:`~repro.obs.sinks.TraceSink` (0 when tracing was disabled
         or a legacy :class:`~repro.core.engine.QueryTrace` was used).
+    cells_saved:
+        Attribute values *not* read because the plan cache supplied them
+        (warm-started counters, or a whole served answer). The
+        cache-efficiency complement of ``cells_scanned``: a cold run has
+        0 here, and ``cells_scanned + cells_saved`` approximates what
+        the same query would have cost cold.
     """
 
     iterations: int = 0
@@ -165,6 +171,7 @@ class RunStats:
     counting_seconds: float = 0.0
     bounds_seconds: float = 0.0
     trace_event_count: int = 0
+    cells_saved: int = 0
 
     @property
     def sample_fraction(self) -> float:

@@ -41,7 +41,8 @@ queries, give each its own seeded session.
 
 from __future__ import annotations
 
-from typing import Any, Sequence, cast
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence, cast
 
 import numpy as np
 
@@ -58,6 +59,9 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.cache sits above)
+    from repro.cache import PlanCache
 
 __all__ = ["QuerySession"]
 
@@ -99,6 +103,11 @@ class QuerySession:
         Default :class:`~repro.obs.metrics.MetricsRegistry` aggregating
         counters and latency histograms across the session's queries.
         Per-query ``metrics=`` overrides apply as for ``trace=``.
+    cache:
+        A :class:`~repro.cache.PlanCache` consulted before each query
+        and fed after each converged one (see
+        :class:`~repro.core.plan.PlanExecutor`). ``cache_dir`` is the
+        directory-path convenience form; pass at most one of the two.
     """
 
     def __init__(
@@ -112,6 +121,8 @@ class QuerySession:
         backend: str | CountingBackend | None = None,
         trace: TraceSink | None = None,
         metrics: MetricsRegistry | None = None,
+        cache: "PlanCache | None" = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self._store = store
         self._executor = PlanExecutor(
@@ -123,6 +134,8 @@ class QuerySession:
             backend=backend,
             trace=trace,
             metrics=metrics,
+            cache=cache,
+            cache_dir=cache_dir,
         )
 
     # ------------------------------------------------------------------

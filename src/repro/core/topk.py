@@ -18,7 +18,7 @@ EntropyRank baseline.
 
 from __future__ import annotations
 
-from typing import cast
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.data.backends import CountingBackend
 from repro.data.column_store import ColumnStore
 from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.cache sits above)
+    from repro.cache import CachePartition, PlanCache
 
 __all__ = ["swope_top_k_entropy"]
 
@@ -52,6 +55,7 @@ def swope_top_k_entropy(
     cancellation: CancellationToken | None = None,
     strict: bool = False,
     metrics: MetricsRegistry | None = None,
+    cache: "PlanCache | CachePartition | None" = None,
 ) -> TopKResult:
     """Answer an approximate entropy top-k query with SWOPE (Algorithm 1).
 
@@ -104,6 +108,11 @@ def swope_top_k_entropy(
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` fed the
         run's counters and latency histograms.
+    cache:
+        Optional :class:`~repro.cache.PlanCache` (or pre-bound
+        :class:`~repro.cache.CachePartition`): serves retired answers
+        without re-running, warm-starts counters, and absorbs this run's
+        results (see :func:`repro.core.plan.run_query_spec`).
 
     Returns
     -------
@@ -127,6 +136,6 @@ def swope_top_k_entropy(
             failure_probability=failure_probability, seed=seed,
             schedule=schedule, sampler=sampler, backend=backend,
             trace=trace, budget=budget, cancellation=cancellation,
-            strict=strict, metrics=metrics,
+            strict=strict, metrics=metrics, cache=cache,
         ),
     )

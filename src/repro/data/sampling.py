@@ -28,7 +28,9 @@ generators, which emit i.i.d. rows).
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
+from typing import Protocol
 
 import numpy as np
 
@@ -37,7 +39,30 @@ from repro.data.column_store import ColumnStore
 from repro.data.joint import JointCounter
 from repro.exceptions import ParameterError, SchemaError
 
-__all__ = ["PrefixSampler"]
+__all__ = ["CounterCache", "PrefixSampler"]
+
+
+class CounterCache(Protocol):
+    """Read-side protocol for warm-starting counters from a prior run.
+
+    Implemented by :class:`repro.cache.CachePartition`; defined here so
+    the sampler depends only on the shape, not on the cache subsystem.
+    Both methods return ``None`` (no usable entry) or a ``(prefix,
+    counter)`` pair where ``counted < prefix <= num_rows`` and the
+    counter is owned by the caller (safe to extend in place).
+    """
+
+    def best_marginal(
+        self, name: str, counted: int, num_rows: int
+    ) -> tuple[int, np.ndarray] | None:
+        """Cached marginal counter for ``name`` within ``(counted, num_rows]``."""
+        ...
+
+    def best_joint(
+        self, first: str, second: str, counted: int, num_rows: int
+    ) -> tuple[int, JointCounter] | None:
+        """Cached joint counter for the canonical pair ``(first, second)``."""
+        ...
 
 
 def _as_generator(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -87,9 +112,12 @@ class PrefixSampler:
         sequential: bool = False,
         retain: bool = False,
         backend: str | CountingBackend | None = None,
+        counter_cache: CounterCache | None = None,
     ) -> None:
         self._store = store
         self._n = store.num_rows
+        self._counter_cache = counter_cache
+        self._cells_saved = 0
         if sequential:
             self._perm: np.ndarray | None = None
         else:
@@ -137,6 +165,34 @@ class PrefixSampler:
         return self._cells_scanned
 
     @property
+    def cells_saved(self) -> int:
+        """Cells *not* scanned because a counter cache served the prefix.
+
+        The warm-start complement of :attr:`cells_scanned`: every cached
+        row of every attribute that a counter jumped over instead of
+        counting, at the same per-cell accounting (two cells per row for
+        a joint pair).
+        """
+        return self._cells_saved
+
+    def attach_counter_cache(self, cache: CounterCache | None) -> None:
+        """Set (or clear) the warm-start source consulted by batch counts."""
+        self._counter_cache = cache
+
+    def shuffle_fingerprint(self) -> str:
+        """sha256 identity of the row order this sampler scans in.
+
+        Counters are a pure function of (dataset, row order, prefix
+        length), so cache partitions key on this next to the dataset
+        fingerprint. Sequential samplers all share the physical order
+        and return the literal marker ``"sequential"``.
+        """
+        if self._perm is None:
+            return "sequential"
+        digest = hashlib.sha256(np.ascontiguousarray(self._perm).tobytes())
+        return digest.hexdigest()
+
+    @property
     def counted_attributes(self) -> tuple[str, ...]:
         """Attributes holding a live marginal counter, sorted by name.
 
@@ -172,6 +228,7 @@ class PrefixSampler:
             "sequential": self._perm is None,
             "permutation": self._perm,
             "cells_scanned": self._cells_scanned,
+            "cells_saved": self._cells_saved,
             "marginals": {
                 name: {"counted": counted, "counts": counts}
                 for name, (counted, counts) in self._marginals.items()
@@ -259,6 +316,7 @@ class PrefixSampler:
             counter = JointCounter.from_snapshot(entry["counter"])
             sampler._joints[(first, second)] = (counted, counter)
         sampler._cells_scanned = int(state["cells_scanned"])  # type: ignore[arg-type]
+        sampler._cells_saved = int(state.get("cells_saved", 0))  # type: ignore[arg-type]
         return sampler
 
     def shuffled_prefix(self, num_rows: int) -> np.ndarray:
@@ -351,6 +409,18 @@ class PrefixSampler:
                     f"prefix for {name!r} already at {counted} rows; cannot"
                     f" shrink to {num_rows} (prefix samples only grow)"
                 )
+            if self._counter_cache is not None and counted < num_rows:
+                served = self._counter_cache.best_marginal(
+                    name, counted, num_rows
+                )
+                if served is not None:
+                    # Jump the counter to the cached prefix; the block
+                    # below then extends only the remaining rows.
+                    counted, counts = served
+                    self._cells_saved += counted - (
+                        0 if state is None else state[0]
+                    )
+                    self._marginals[name] = (counted, counts)
             starts[name] = counted
             counters[name] = counts
         # Group extensions by their start offset (counters at different
@@ -425,6 +495,15 @@ class PrefixSampler:
                     f"prefix for pair {key!r} already at {counted} rows; cannot"
                     f" shrink to {num_rows}"
                 )
+            if self._counter_cache is not None and counted < num_rows:
+                served_joint = self._counter_cache.best_joint(
+                    key[0], key[1], counted, num_rows
+                )
+                if served_joint is not None:
+                    previous = counted
+                    counted, counter = served_joint
+                    self._cells_saved += 2 * (counted - previous)
+                    self._joints[key] = (counted, counter)
             if num_rows > counted:
                 block_first = first_blocks.get(counted)
                 if block_first is None:

@@ -60,7 +60,11 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_SCHEMA_VERSION",
     "PlanCheckpoint",
+    "decode_array",
+    "decode_joint_snapshot",
     "decode_sampler_state",
+    "encode_array",
+    "encode_joint_snapshot",
     "encode_sampler_state",
     "load_checkpoint",
     "loop_state_from_payload",
@@ -76,7 +80,10 @@ CHECKPOINT_FORMAT = "repro-plan-checkpoint"
 
 #: Bumped on any change to the payload layout or resume semantics;
 #: mismatching files are refused, never migrated.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: planner-v2 fields — sampler state and run stats carry
+#: ``cells_saved`` (plan-cache accounting) and plan progress carries the
+#: scheduled plan's metadata (count groups, order, cost estimates).
+CHECKPOINT_SCHEMA_VERSION = 2
 
 _PAYLOAD_KEYS = ("dataset", "executor", "sampler", "specs", "progress")
 
@@ -156,6 +163,14 @@ def _decode_joint(payload: dict[str, Any]) -> dict[str, Any]:
     return out
 
 
+# Public aliases: the same array/joint codecs back the plan cache's
+# partition files (repro.cache), which share this envelope discipline.
+encode_array = _encode_array
+decode_array = _decode_array
+encode_joint_snapshot = _encode_joint
+decode_joint_snapshot = _decode_joint
+
+
 def encode_sampler_state(state: dict[str, Any]) -> dict[str, Any]:
     """JSON-ready form of :meth:`~repro.data.sampling.PrefixSampler.state_snapshot`."""
     permutation = state["permutation"]
@@ -166,6 +181,7 @@ def encode_sampler_state(state: dict[str, Any]) -> dict[str, Any]:
         "sequential": bool(state["sequential"]),
         "permutation": None if permutation is None else _encode_array(permutation),
         "cells_scanned": int(state["cells_scanned"]),
+        "cells_saved": int(state.get("cells_saved", 0)),
         "marginals": {
             name: {
                 "counted": int(entry["counted"]),
@@ -196,6 +212,7 @@ def decode_sampler_state(payload: dict[str, Any]) -> dict[str, Any]:
                 None if permutation is None else _decode_array(permutation)
             ),
             "cells_scanned": int(payload["cells_scanned"]),
+            "cells_saved": int(payload.get("cells_saved", 0)),
             "marginals": {
                 name: {
                     "counted": int(entry["counted"]),
@@ -277,6 +294,7 @@ def _stats_to_payload(stats: RunStats) -> dict[str, Any]:
         "counting_seconds": stats.counting_seconds,
         "bounds_seconds": stats.bounds_seconds,
         "trace_event_count": stats.trace_event_count,
+        "cells_saved": stats.cells_saved,
     }
 
 
@@ -291,6 +309,7 @@ def _stats_from_payload(payload: dict[str, Any]) -> RunStats:
         counting_seconds=float(payload["counting_seconds"]),
         bounds_seconds=float(payload["bounds_seconds"]),
         trace_event_count=int(payload["trace_event_count"]),
+        cells_saved=int(payload.get("cells_saved", 0)),
     )
 
 

@@ -37,6 +37,10 @@ __all__ = [
     "PlanEndEvent",
     "CheckpointSavedEvent",
     "PlanResumedEvent",
+    "ScheduleChosenEvent",
+    "CacheHitEvent",
+    "CacheMissEvent",
+    "AnswerReusedEvent",
     "header_record",
 ]
 
@@ -46,7 +50,9 @@ __all__ = [
 #: emitted by :class:`repro.core.plan.PlanExecutor`.
 #: v3: durability events (``checkpoint_saved``/``plan_resumed``) emitted
 #: by checkpointing/resumed plan runs.
-TRACE_SCHEMA_VERSION = 3
+#: v4: planner-v2 events: cost-based scheduling (``schedule_chosen``)
+#: and plan-cache outcomes (``cache_hit``/``cache_miss``/``answer_reused``).
+TRACE_SCHEMA_VERSION = 4
 
 #: Every ``event`` discriminator the schema admits (header excluded).
 #: ``scripts/check_trace_schema.py`` validates golden traces against it.
@@ -61,6 +67,10 @@ EVENT_KINDS = (
     "plan_end",
     "checkpoint_saved",
     "plan_resumed",
+    "schedule_chosen",
+    "cache_hit",
+    "cache_miss",
+    "answer_reused",
 )
 
 
@@ -278,6 +288,85 @@ class PlanResumedEvent(TraceEvent):
     sample_floor: int
     population_size: int
     query: str | None = None
+
+
+@dataclass(frozen=True)
+class ScheduleChosenEvent(TraceEvent):
+    """The planner's cost model ordered the batch (v4).
+
+    Emitted once per plan, directly after :class:`PlanStartEvent`, when
+    :func:`~repro.core.plan.plan_queries` scheduled the batch instead of
+    keeping submission order. ``queries`` is the chosen execution order,
+    ``submission`` the same names in submission order, and
+    ``estimated_cells`` the cost model's per-query predictions aligned
+    with ``queries``. ``cost_model`` labels the predictor
+    (``"analytic"`` or ``"fitted"``). Deterministic: the analytic model
+    reads only the store schema and the query shapes.
+    """
+
+    event: ClassVar[str] = "schedule_chosen"
+
+    order: str
+    queries: tuple[str, ...]
+    submission: tuple[str, ...]
+    estimated_cells: tuple[int, ...] = ()
+    cost_model: str = "analytic"
+
+
+@dataclass(frozen=True)
+class CacheHitEvent(TraceEvent):
+    """The plan cache answered a query without running it (v4).
+
+    ``mode`` is ``"exact"`` or ``"semantic"``; ``source_param`` is the
+    stored entry's parameter (η or k) that served the request,
+    ``requested_param`` the query's own.
+    """
+
+    event: ClassVar[str] = "cache_hit"
+
+    name: str
+    kind: str
+    score: str
+    mode: str
+    source_param: float
+    requested_param: float
+
+
+@dataclass(frozen=True)
+class CacheMissEvent(TraceEvent):
+    """Answer reuse was consulted and declined; the query runs fresh (v4).
+
+    Emitted only when a cache was attached — cacheless runs stay silent.
+    A miss also covers semantic-replay refusal (a dominating entry
+    existed but its history could not prove the derived answer).
+    """
+
+    event: ClassVar[str] = "cache_miss"
+
+    name: str
+    kind: str
+    score: str
+
+
+@dataclass(frozen=True)
+class AnswerReusedEvent(TraceEvent):
+    """The served answer, in place of the run it replaced (v4).
+
+    The deterministic mirror of :class:`QueryEndEvent` for cache hits:
+    the loop-shape fields describe the stored (or replayed) run,
+    ``cells_saved`` the work the serve avoided (0 for semantic replays,
+    which avoid *all* counting but whose saved cells were already
+    reported by the run that populated the entry).
+    """
+
+    event: ClassVar[str] = "answer_reused"
+
+    name: str
+    mode: str
+    iterations: int
+    final_sample_size: int
+    cells_saved: int
+    answer: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)

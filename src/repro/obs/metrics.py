@@ -45,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "reset_global_registry",
+    "record_cache",
     "record_checkpoint",
     "record_plan",
     "record_query",
@@ -365,6 +366,13 @@ def record_query(
     registry.counter(
         "cells_scanned_total", "Attribute cells read from stores"
     ).inc(stats.cells_scanned)
+    # Sole feeder of the saved-cells counter: served answers also pass
+    # through record_query, so adding it in record_cache too would
+    # double-count (stats.cells_saved is per-query by contract).
+    registry.counter(
+        "cache_cells_saved_total",
+        "Attribute cells the plan cache avoided reading",
+    ).inc(stats.cells_saved)
     registry.counter(
         "candidates_pruned_total", "Candidates retired by top-k pruning"
     ).inc(stats.candidates_pruned)
@@ -407,6 +415,36 @@ def record_plan(registry: MetricsRegistry, *, stats: "PlanStats") -> None:
     registry.histogram(
         "plan_wall_seconds", "End-to-end plan latency"
     ).observe(stats.wall_seconds)
+
+
+def record_cache(
+    registry: MetricsRegistry, *, hit: bool, mode: str | None = None
+) -> None:
+    """Feed one plan-cache answer lookup into the standard instruments.
+
+    Called once per consulted query: ``hit=False`` for a miss (including
+    semantic-replay refusals), ``hit=True`` with ``mode`` ``"exact"`` or
+    ``"semantic"`` for a serve. Saved-cell accounting deliberately lives
+    in :func:`record_query` (see the comment there), keeping
+    ``cache_cells_saved_total`` reconcilable against summed
+    :class:`~repro.core.results.RunStats`.
+    """
+    registry.counter(
+        "cache_lookups_total", "Plan-cache answer lookups"
+    ).inc()
+    if hit:
+        registry.counter(
+            "cache_hits_total", "Queries answered from the plan cache"
+        ).inc()
+        if mode == "semantic":
+            registry.counter(
+                "cache_answers_reused_total",
+                "Cache hits served by semantic (dominance) reuse",
+            ).inc()
+    else:
+        registry.counter(
+            "cache_misses_total", "Plan-cache lookups that ran fresh"
+        ).inc()
 
 
 def record_checkpoint(

@@ -46,8 +46,8 @@ def check(path: str, text: str, **kwargs):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_sixteen_rules_registered(self):
-        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 17)]
+    def test_all_seventeen_rules_registered(self):
+        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 18)]
 
     def test_project_rules_are_marked(self):
         project_codes = {c for c, r in RULES.items() if r.project}
@@ -496,6 +496,69 @@ class TestSWP012:
         report = check(CORE, text)
         assert codes(report) == []
         assert [v.rule for v in report.suppressed] == ["SWP012"]
+
+
+# ----------------------------------------------------------------------
+# SWP017 — cache access names the dataset fingerprint
+# ----------------------------------------------------------------------
+class TestSWP017:
+    def test_direct_cache_partition_construction_fires(self):
+        text = (
+            "from repro.cache import CachePartition\n\n"
+            "def f(fp, sh):\n"
+            '    return CachePartition(fingerprint=fp, shuffle=sh)\n'
+        )
+        assert codes(check(CORE, text)) == ["SWP017"]
+
+    def test_partition_missing_fingerprint_fires(self):
+        text = "def f(cache, sh):\n    return cache.partition(shuffle=sh)\n"
+        assert codes(check(CORE, text)) == ["SWP017"]
+
+    def test_partition_missing_shuffle_fires(self):
+        text = "def f(cache, fp):\n    return cache.partition(fingerprint=fp)\n"
+        assert codes(check(CORE, text)) == ["SWP017"]
+
+    def test_partition_no_arguments_fires(self):
+        text = "def f(cache):\n    return cache.partition()\n"
+        assert codes(check(CORE, text)) == ["SWP017"]
+
+    def test_partition_positional_keys_fire(self):
+        # Keys passed positionally hide which is which — the signature is
+        # keyword-only precisely so call sites must spell them.
+        text = "def f(cache, fp, sh):\n    return cache.partition(fp, sh)\n"
+        assert codes(check(CORE, text)) == ["SWP017"]
+
+    def test_both_keywords_are_clean(self):
+        text = (
+            "def f(cache, fp, sh):\n"
+            "    return cache.partition(fingerprint=fp, shuffle=sh)\n"
+        )
+        assert codes(check(CORE, text)) == []
+
+    def test_str_partition_is_clean(self):
+        text = 'def f(line):\n    return line.partition("=")\n'
+        assert codes(check(CORE, text)) == []
+
+    def test_cache_package_is_exempt(self):
+        text = (
+            "def f(fp, sh):\n"
+            "    return CachePartition(fingerprint=fp, shuffle=sh)\n"
+        )
+        assert codes(check("src/repro/cache/store.py", text)) == []
+
+    def test_tests_out_of_scope(self):
+        text = "def f(cache):\n    return cache.partition()\n"
+        assert codes(check("tests/example.py", text)) == []
+
+    def test_noqa_with_justification_suppresses(self):
+        text = (
+            "def f(table, key):\n"
+            "    # external hash-ring API, not the plan cache\n"
+            "    return table.partition(key=key)  # noqa: SWP017\n"
+        )
+        report = check(CORE, text)
+        assert codes(report) == []
+        assert [v.rule for v in report.suppressed] == ["SWP017"]
 
 
 # ----------------------------------------------------------------------

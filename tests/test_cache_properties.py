@@ -1,0 +1,155 @@
+"""Property-based tests for semantic answer reuse (``repro.cache``).
+
+The dominance lattice the cache exploits — a stored filter at ``η``
+answers any ``η′ >= η``, a stored top-``k`` answers any ``k′ <= k`` —
+is a *claim about the engine*, not just about the replay code. These
+properties pin it end to end against randomly generated stores and
+query shapes:
+
+* whenever the cache serves a dominated request, the served answer is
+  byte-identical (attributes, estimates, bounds, guarantee) to the
+  answer a fresh cache-free run produces;
+* a served answer never claims a stronger guarantee than a fresh run
+  would (equal ``guarantee_met``/``stopping_reason``, achieved epsilon
+  within the requested bound);
+* refusal is always an available outcome — a lookup either serves
+  bit-identically or returns ``None``; it never approximates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import PlanCache
+from repro.core.plan import PlanExecutor, QuerySpec, plan_queries
+from repro.durability.checkpoint import result_to_payload
+from repro.data.column_store import ColumnStore
+
+SEED = 3
+
+
+def _store(data_seed: int, n: int) -> ColumnStore:
+    rng = np.random.default_rng(data_seed)
+    target = rng.integers(0, 4, n)
+    keep = rng.random(n) < 0.6
+    return ColumnStore(
+        {
+            "a": rng.integers(0, 16, n),
+            "b": rng.integers(0, 6, n),
+            "c": rng.integers(0, 2, n),
+            "target": target,
+            "noisy": np.where(keep, target, rng.integers(0, 4, n)),
+        }
+    )
+
+
+def _answer(result) -> list[dict]:
+    payloads = []
+    for name in result:
+        payload = result_to_payload(result[name])
+        payload.pop("stats")  # work accounting differs by construction
+        payloads.append(payload)
+    return payloads
+
+
+def _serve(store: ColumnStore, stored: QuerySpec, derived: QuerySpec):
+    """Populate an in-memory cache with ``stored``, then query ``derived``.
+
+    Returns ``(served_plan_result, was_hit)`` where ``was_hit`` reports
+    whether the derived query touched zero cells (exact or semantic
+    serve) or fell back to a fresh execution.
+    """
+    cache = PlanCache()
+    PlanExecutor(store, seed=SEED, cache=cache).execute(
+        plan_queries(store, [stored])
+    )
+    executor = PlanExecutor(store, seed=SEED, cache=cache)
+    served = executor.execute(plan_queries(store, [derived]))
+    return served, served.stats.cells_scanned == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data_seed=st.integers(min_value=0, max_value=2**16),
+    n=st.sampled_from([200, 400, 700]),
+    k_stored=st.integers(min_value=2, max_value=4),
+    k_derived=st.integers(min_value=1, max_value=4),
+)
+def test_topk_dominance_serves_fresh_answer(
+    data_seed: int, n: int, k_stored: int, k_derived: int
+) -> None:
+    store = _store(data_seed, n)
+    stored = QuerySpec(
+        kind="top_k", score="entropy", k=k_stored, epsilon=0.1, prune=False
+    )
+    derived = QuerySpec(
+        kind="top_k", score="entropy", k=k_derived, epsilon=0.1, prune=False
+    )
+    served, hit = _serve(store, stored, derived)
+    fresh = PlanExecutor(store, seed=SEED).execute(
+        plan_queries(store, [derived])
+    )
+    # Served or refused, the answer equals the fresh run's.
+    assert _answer(served) == _answer(fresh)
+    if k_derived <= k_stored:
+        # Dominated k' is always servable from the stored history: the
+        # k'-th largest upper bound is no smaller and the answer set's
+        # worst width no larger, so the stored stopping iteration stops
+        # the derived run too.
+        assert hit
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    data_seed=st.integers(min_value=0, max_value=2**16),
+    n=st.sampled_from([200, 400, 700]),
+    eta_stored=st.sampled_from([1.5, 2.0, 2.5, 5.0]),
+    eta_derived=st.sampled_from([1.5, 2.0, 2.5, 3.0, 5.5]),
+)
+def test_filter_dominance_serves_fresh_answer(
+    data_seed: int, n: int, eta_stored: float, eta_derived: float
+) -> None:
+    store = _store(data_seed, n)
+    stored = QuerySpec(
+        kind="filter", score="entropy", threshold=eta_stored, epsilon=0.1
+    )
+    derived = QuerySpec(
+        kind="filter", score="entropy", threshold=eta_derived, epsilon=0.1
+    )
+    served, _hit = _serve(store, stored, derived)
+    fresh = PlanExecutor(store, seed=SEED).execute(
+        plan_queries(store, [derived])
+    )
+    # Replay may serve (η' >= η with covering history) or refuse; either
+    # way the answer is the fresh run's, byte for byte.
+    assert _answer(served) == _answer(fresh)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    data_seed=st.integers(min_value=0, max_value=2**16),
+    k_derived=st.integers(min_value=1, max_value=3),
+)
+def test_served_guarantee_never_stronger(data_seed: int, k_derived: int) -> None:
+    store = _store(data_seed, 300)
+    stored = QuerySpec(
+        kind="top_k", score="entropy", k=3, epsilon=0.1, prune=False
+    )
+    derived = QuerySpec(
+        kind="top_k", score="entropy", k=k_derived, epsilon=0.1, prune=False
+    )
+    served, hit = _serve(store, stored, derived)
+    assert hit
+    fresh = PlanExecutor(store, seed=SEED).execute(
+        plan_queries(store, [derived])
+    )
+    for name in served:
+        got = served[name].guarantee
+        want = fresh[name].guarantee
+        assert got is not None and want is not None
+        assert got.guarantee_met == want.guarantee_met
+        assert got.stopping_reason == want.stopping_reason
+        assert got.achieved_epsilon == want.achieved_epsilon
+        assert got.achieved_epsilon <= got.requested_epsilon

@@ -126,6 +126,48 @@ def test_kill_and_resume_at_every_boundary(tmp_path, backend):
         assert rest == reference_lines[-len(rest):], f"kill at {kill_at}"
 
 
+def test_resumed_plan_reuses_planned_groups(tmp_path, monkeypatch):
+    """Resume rebuilds the interrupted plan from checkpoint metadata.
+
+    The executor used to re-run count-group extraction on resume(),
+    which silently re-plans: a cost-model change between versions (or a
+    planner bug fix) would hand the resumed run different groups and a
+    different schedule than the checkpoint's partial results were
+    computed under. The checkpoint now carries the planner metadata, so
+    resumed_plan() must never call plan_queries() for a v2 checkpoint.
+    """
+    store = _golden_store()
+    specs = _mixed_specs()
+    plan = plan_queries(store, specs)
+    reference_fp = plan_fingerprint(
+        PlanExecutor(store, seed=SEED).execute(plan)
+    )
+    path = tmp_path / "replan.ckpt"
+    token = BoundaryFaultToken(ChaosPlan.kill_at(2))
+    with pytest.raises(SimulatedKillError):
+        PlanExecutor(store, seed=SEED, checkpoint_path=path).execute(
+            plan, cancellation=token
+        )
+
+    import repro.core.plan as plan_module
+
+    def _replanned(*_args, **_kwargs):
+        raise AssertionError("resume re-ran the planner")
+
+    monkeypatch.setattr(plan_module, "plan_queries", _replanned)
+    resumed_executor = PlanExecutor.resume(path, store)
+    resumed_plan = resumed_executor.resumed_plan()
+    monkeypatch.undo()
+
+    assert resumed_plan.marginal_attributes == plan.marginal_attributes
+    assert resumed_plan.joint_targets == plan.joint_targets
+    assert resumed_plan.order == plan.order
+    assert resumed_plan.submission_names == plan.submission_names
+    assert resumed_plan.estimated_cells == plan.estimated_cells
+    assert resumed_plan.names == plan.names
+    assert plan_fingerprint(resumed_executor.execute(resumed_plan)) == reference_fp
+
+
 def test_cross_backend_resume_is_identical(tmp_path):
     """A checkpoint written under one backend resumes under the other."""
     store = _golden_store()

@@ -83,6 +83,41 @@ def _run_case(case: str, sink: JsonlSink, backend: str | None = None) -> None:
         plan = plan_queries(store, _mixed_specs())
         executor.execute(plan, trace=sink)
         return
+    if case == "plan_cached":
+        # Pin the v4 cache events: an untraced cold run populates an
+        # in-memory plan cache, then two traced warm plans exercise a
+        # semantic-dominance hit (k'=1 served from the stored k=2), an
+        # exact hit, and a fresh query (cache_miss + live iterations).
+        from repro.cache import PlanCache
+
+        cache = PlanCache()
+        tk2 = QuerySpec(
+            kind="top_k", score="entropy", k=2, epsilon=0.1, prune=False
+        )
+        tk1 = QuerySpec(
+            kind="top_k", score="entropy", k=1, epsilon=0.1, prune=False
+        )
+        f_mi = QuerySpec(
+            kind="filter", score="mutual_information", threshold=0.5,
+            epsilon=0.5, target="target",
+        )
+        cold = PlanExecutor(store, seed=SEED, backend=backend, cache=cache)
+        cold.execute(plan_queries(store, [tk2]))
+        warm_semantic = PlanExecutor(
+            store, seed=SEED, backend=backend, cache=cache
+        )
+        warm_semantic.execute(plan_queries(store, [tk1]), trace=sink)
+        warm_exact = PlanExecutor(
+            store, seed=SEED, backend=backend, cache=cache
+        )
+        warm_exact.execute(plan_queries(store, [tk2]), trace=sink)
+        # The MI filter was never cached: a fresh executor (prefix floor 0)
+        # records a cache_miss followed by a live multi-iteration run.
+        warm_fresh = PlanExecutor(
+            store, seed=SEED, backend=backend, cache=cache
+        )
+        warm_fresh.execute(plan_queries(store, [f_mi]), trace=sink)
+        return
     schedule = SampleSchedule(store.num_rows, INITIAL_SAMPLE)
     common = {"seed": SEED, "schedule": schedule, "trace": sink, "backend": backend}
     if case == "topk_entropy":
@@ -105,7 +140,14 @@ def _trace_lines(case: str, backend: str | None = None) -> list[str]:
     return buffer.getvalue().splitlines()
 
 
-CASES = ["topk_entropy", "filter_entropy", "topk_mi", "filter_mi", "plan_mixed"]
+CASES = [
+    "topk_entropy",
+    "filter_entropy",
+    "topk_mi",
+    "filter_mi",
+    "plan_mixed",
+    "plan_cached",
+]
 
 
 @pytest.mark.parametrize("case", CASES)

@@ -232,12 +232,40 @@ class TestPlanQueries:
 
     def test_epsilon_defaults_filled_from_paper(self, store):
         plan = plan_queries(store, _mixed_specs())
-        assert [s.epsilon for s in plan.specs] == [
-            PAPER_EPSILON[("top_k", "entropy")],
-            PAPER_EPSILON[("filter", "entropy")],
-            PAPER_EPSILON[("top_k", "mutual_information")],
-            PAPER_EPSILON[("filter", "mutual_information")],
-        ]
+        assert {s.name: s.epsilon for s in plan.specs} == {
+            "tk_h": PAPER_EPSILON[("top_k", "entropy")],
+            "f_h": PAPER_EPSILON[("filter", "entropy")],
+            "tk_mi": PAPER_EPSILON[("top_k", "mutual_information")],
+            "f_mi": PAPER_EPSILON[("filter", "mutual_information")],
+        }
+
+    def test_cost_order_is_deterministic_and_recorded(self, store):
+        plan = plan_queries(store, _mixed_specs())
+        again = plan_queries(store, _mixed_specs())
+        assert plan.order == "cost"
+        assert plan.cost_model == "analytic"
+        assert plan.names == again.names
+        assert plan.estimated_cells == again.estimated_cells
+        # submission_names records the caller's order; the scheduled
+        # specs are a (cheapest-first) permutation of it.
+        assert plan.submission_names == ("tk_h", "f_h", "tk_mi", "f_mi")
+        assert sorted(plan.names) == sorted(plan.submission_names)
+        assert len(plan.estimated_cells) == 4
+        assert list(plan.estimated_cells) == sorted(plan.estimated_cells)
+        # Entropy queries are predicted cheaper than MI (3 bounds + joint
+        # counters), so both entropy queries schedule first.
+        assert set(plan.names[:2]) == {"tk_h", "f_h"}
+
+    def test_submission_order_preserved_on_request(self, store):
+        plan = plan_queries(store, _mixed_specs(), order="submission")
+        assert plan.order == "submission"
+        assert plan.names == ("tk_h", "f_h", "tk_mi", "f_mi")
+        assert plan.estimated_cells == ()
+        assert plan.cost_model == "none"
+
+    def test_unknown_order_rejected(self, store):
+        with pytest.raises(PlanError, match="unknown plan order"):
+            plan_queries(store, _mixed_specs(), order="random")
 
     def test_count_groups(self, store):
         plan = plan_queries(store, _mixed_specs())
@@ -292,17 +320,21 @@ class TestBitIdentity:
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_mixed_plan_matches_sequential_session(self, store, backend):
         executor = PlanExecutor(store, seed=SEED, backend=backend)
-        outcome = executor.execute(plan_queries(store, _mixed_specs()))
+        plan = plan_queries(store, _mixed_specs())
+        outcome = executor.execute(plan)
 
+        # Issue the session queries in the plan's *scheduled* order — the
+        # ratchet floor each query starts from depends on who ran before.
         session = QuerySession(store, seed=SEED, backend=backend)
-        sequential = {
-            "tk_h": session.top_k_entropy(2),
-            "f_h": session.filter_entropy(2.0),
-            "tk_mi": session.top_k_mutual_information("target", 2),
-            "f_mi": session.filter_mutual_information("target", 0.5),
+        runners = {
+            "tk_h": lambda: session.top_k_entropy(2),
+            "f_h": lambda: session.filter_entropy(2.0),
+            "tk_mi": lambda: session.top_k_mutual_information("target", 2),
+            "f_mi": lambda: session.filter_mutual_information("target", 0.5),
         }
-        for name, expected in sequential.items():
-            _assert_results_equal(outcome[name], expected)
+        for spec in plan.specs:
+            expected = runners[spec.name]()
+            _assert_results_equal(outcome[spec.name], expected)
         assert executor.cells_scanned == session.cells_scanned
 
     def test_session_run_plan_facade(self, store):
@@ -405,9 +437,13 @@ class TestPlanObservability:
 
         kinds = sink.kinds()
         assert kinds[0] == "plan_start"
+        assert kinds[1] == "schedule_chosen"
         assert kinds[-1] == "plan_end"
+        (chosen,) = sink.of_kind("schedule_chosen")
+        assert chosen.order == "cost"
+        assert chosen.submission == ("tk_h", "f_h", "tk_mi", "f_mi")
         retired = sink.of_kind("query_retired")
-        assert [e.name for e in retired] == ["tk_h", "f_h", "tk_mi", "f_mi"]
+        assert tuple(e.name for e in retired) == chosen.queries
         assert [e.index for e in retired] == [0, 1, 2, 3]
         assert all(e.guarantee_met for e in retired)
         assert [e.marginal_cells for e in retired] == [
