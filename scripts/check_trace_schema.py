@@ -1,23 +1,30 @@
-"""CI gate: trace schema version and golden traces must move together.
+"""CI gate: golden artifacts and their schema versions must move together.
 
-Any change to the trace wire format must bump
-``repro.obs.events.TRACE_SCHEMA_VERSION`` *and* regenerate the committed
-golden traces in the same commit. This script enforces the pairing: it
-fails when any ``tests/golden/*.jsonl`` header records a schema version
-different from the code's current one (schema bumped without
-regeneration — or goldens regenerated against stale code), when any
-record's ``event`` kind is not in ``repro.obs.events.EVENT_KINDS``
-(stale goldens from before a kind was renamed, or a kind emitted but
-never registered), and when the golden directory is empty or malformed.
+Two artifact families live under ``tests/golden/``:
+
+* **traces** (``*.jsonl``) — any change to the trace wire format must bump
+  ``repro.obs.events.TRACE_SCHEMA_VERSION`` *and* regenerate the committed
+  golden traces in the same commit. This script fails when a golden
+  header records a different schema version, when a record's ``event``
+  kind is not in ``repro.obs.events.EVENT_KINDS``, or when the golden
+  directory is empty or malformed.
+* **census manifests** (``*.manifest.json``) — provenance manifests of
+  :mod:`repro.synth.census`. Each must parse under the current
+  ``MANIFEST_SCHEMA_VERSION``, and its recorded ``(scenario, seed,
+  scale)`` triple must regenerate the *byte-identical* manifest (which
+  also proves the dataset sha256 round-trips). Every golden census plan
+  trace (``plan_census*.jsonl``) must be **paired** with a manifest for
+  the same scenario — a trace over an unpinned dataset is unverifiable.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_trace_schema.py
 
-Exit status 0 when every golden header matches, 1 otherwise. Regenerate
-the goldens with::
+Exit status 0 when every golden artifact matches, 1 otherwise.
+Regenerate with::
 
-    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-golden
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py \
+        tests/test_census_track.py --update-golden
 """
 
 from __future__ import annotations
@@ -27,6 +34,12 @@ import sys
 from pathlib import Path
 
 from repro.obs.events import EVENT_KINDS, TRACE_SCHEMA_VERSION
+from repro.synth.census import (
+    MANIFEST_SCHEMA_VERSION,
+    generate_census,
+    load_manifest,
+    manifest_json,
+)
 
 KNOWN_KINDS = frozenset(EVENT_KINDS) | {"header"}
 
@@ -34,18 +47,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
 REGENERATE_HINT = (
     "regenerate with: PYTHONPATH=src python -m pytest"
-    " tests/test_golden_traces.py --update-golden"
+    " tests/test_golden_traces.py tests/test_census_track.py --update-golden"
 )
 
 
-def main() -> int:
-    paths = sorted(GOLDEN_DIR.glob("*.jsonl"))
-    if not paths:
-        print(
-            f"error: no golden traces under {GOLDEN_DIR}; {REGENERATE_HINT}",
-            file=sys.stderr,
-        )
-        return 1
+def check_traces(paths: list[Path]) -> int:
     failures = 0
     for path in paths:
         lines = path.read_text().splitlines()
@@ -92,11 +98,78 @@ def main() -> int:
                     file=sys.stderr,
                 )
                 failures += 1
+    return failures
+
+
+def check_manifests(paths: list[Path]) -> tuple[int, set[str]]:
+    """Validate golden manifests; returns (failures, manifested scenarios)."""
+    failures = 0
+    scenarios: set[str] = set()
+    for path in paths:
+        try:
+            manifest = load_manifest(path)
+        except Exception as exc:
+            print(f"error: {path.name}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        scenarios.add(str(manifest["scenario"]))
+        dataset = generate_census(
+            str(manifest["scenario"]),
+            seed=int(str(manifest["seed"])),
+            scale=float(str(manifest["scale"])),
+        )
+        regenerated = manifest_json(dataset.manifest)
+        committed = path.read_text(encoding="utf-8")
+        if regenerated != committed:
+            print(
+                f"error: {path.name}: recorded (scenario={manifest['scenario']},"
+                f" seed={manifest['seed']}, scale={manifest['scale']}) no"
+                f" longer regenerates this manifest byte-for-byte — the"
+                f" generators changed without a manifest schema bump;"
+                f" {REGENERATE_HINT}",
+                file=sys.stderr,
+            )
+            failures += 1
+    return failures, scenarios
+
+
+def check_pairing(trace_paths: list[Path], scenarios: set[str]) -> int:
+    """Every census plan trace needs a manifest pinning its dataset."""
+    failures = 0
+    for path in trace_paths:
+        if not path.name.startswith("plan_census"):
+            continue
+        stem = path.name[len("plan_census_"):].removesuffix(".jsonl")
+        if stem not in scenarios:
+            print(
+                f"error: {path.name}: census plan trace has no paired"
+                f" census_{stem}.manifest.json golden pinning its dataset;"
+                f" {REGENERATE_HINT}",
+                file=sys.stderr,
+            )
+            failures += 1
+    return failures
+
+
+def main() -> int:
+    trace_paths = sorted(GOLDEN_DIR.glob("*.jsonl"))
+    manifest_paths = sorted(GOLDEN_DIR.glob("*.manifest.json"))
+    if not trace_paths:
+        print(
+            f"error: no golden traces under {GOLDEN_DIR}; {REGENERATE_HINT}",
+            file=sys.stderr,
+        )
+        return 1
+    failures = check_traces(trace_paths)
+    manifest_failures, scenarios = check_manifests(manifest_paths)
+    failures += manifest_failures
+    failures += check_pairing(trace_paths, scenarios)
     if failures:
         return 1
     print(
-        f"trace schema OK: {len(paths)} golden trace(s) at schema"
-        f" version {TRACE_SCHEMA_VERSION}"
+        f"golden artifacts OK: {len(trace_paths)} trace(s) at trace schema"
+        f" {TRACE_SCHEMA_VERSION}, {len(manifest_paths)} manifest(s) at"
+        f" {MANIFEST_SCHEMA_VERSION}"
     )
     return 0
 

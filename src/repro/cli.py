@@ -57,6 +57,13 @@ from repro.experiments.regression import compare_runs
 from repro.experiments.report import render_figure, render_table2
 from repro.exceptions import ParameterError, ReproError
 from repro.obs import JsonlSink, MetricsRegistry
+from repro.synth.census import (
+    SCENARIOS,
+    generate_census,
+    load_manifest,
+    regenerate_from_manifest,
+    write_manifest,
+)
 from repro.synth.datasets import DATASETS, load_dataset
 
 __all__ = ["main", "build_parser"]
@@ -228,6 +235,57 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("--scale", type=float, default=0.1)
     describe.add_argument("--top", type=int, default=20, help="rows to show")
     describe.add_argument("--sort", choices=["entropy", "name"], default="entropy")
+
+    census = sub.add_parser(
+        "synth-census",
+        help="generate a census workload scenario (and its manifest)",
+    )
+    census.add_argument(
+        "--scenario", choices=sorted(SCENARIOS), default=None,
+        help="scenario to generate (omit with --list to browse the catalog)",
+    )
+    census.add_argument("--seed", type=int, default=0)
+    census.add_argument("--scale", type=float, default=1.0)
+    census.add_argument(
+        "--manifest-out", default=None, metavar="PATH",
+        help="write the provenance manifest to PATH (atomic write-rename)",
+    )
+    census.add_argument(
+        "--verify", default=None, metavar="PATH",
+        help="instead of generating: load the manifest at PATH, regenerate"
+             " from its recorded (scenario, seed, scale), and check the"
+             " sha256 round-trips (exit 2 on mismatch)",
+    )
+    census.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="print the scenario catalog and exit",
+    )
+
+    workloads = sub.add_parser(
+        "workloads",
+        help="run the census accuracy/performance track vs. exact baselines",
+    )
+    workloads.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated scenario keys (default: all)",
+    )
+    workloads.add_argument(
+        "--seeds", default="0",
+        help="comma-separated dataset/shuffle seeds (default: 0)",
+    )
+    workloads.add_argument("--scale", type=float, default=1.0)
+    workloads.add_argument(
+        "--backend", choices=["numpy", "threads"], default="numpy"
+    )
+    workloads.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="also persist the track report as JSON (atomic write-rename)",
+    )
+    workloads.add_argument(
+        "--applications", action="store_true",
+        help="also run the applications layer (feature selection + tree)"
+             " on every MI-target scenario",
+    )
     return parser
 
 
@@ -577,6 +635,97 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_synth_census(args: argparse.Namespace) -> int:
+    from repro.data.filters import PAPER_MAX_SUPPORT
+
+    if args.list_scenarios:
+        print("census scenarios:")
+        for key in sorted(SCENARIOS):
+            scenario = SCENARIOS[key]
+            print(
+                f"  {key:12s} {scenario.num_rows:>7,} rows x"
+                f" {scenario.num_columns} columns, {len(scenario.queries)}"
+                f" queries — {scenario.title}"
+            )
+        return 0
+    if args.verify is not None:
+        manifest = load_manifest(args.verify)
+        dataset = regenerate_from_manifest(manifest)
+        print(
+            f"ok: {manifest['scenario']} seed={manifest['seed']}"
+            f" scale={manifest['scale']} regenerates"
+            f" {dataset.store.num_rows:,} rows with matching sha256"
+            f" {dataset.fingerprint[:12]}..."
+        )
+        return 0
+    if args.scenario is None:
+        raise ParameterError(
+            "synth-census needs --scenario (or --list / --verify)"
+        )
+    dataset = generate_census(args.scenario, seed=args.seed, scale=args.scale)
+    over = [
+        name
+        for name in dataset.store.attributes
+        if dataset.store.support_size(name) > PAPER_MAX_SUPPORT
+    ]
+    print(
+        f"{args.scenario}: {dataset.store.num_rows:,} rows x"
+        f" {dataset.store.num_attributes} columns (seed={args.seed},"
+        f" scale={args.scale:g})"
+    )
+    print(f"sha256: {dataset.fingerprint}")
+    if over:
+        print(
+            f"over the u={PAPER_MAX_SUPPORT} cutoff (dropped by"
+            f" preprocessing): {', '.join(over)}"
+        )
+    for entry in dataset.manifest["columns"]:  # type: ignore[union-attr]
+        print(
+            f"  {entry['name']:18s} {entry['family']:15s}"
+            f" u={entry['support_size']:<5d} H={entry['entropy']:7.3f}"
+            f" missing={entry['missing_rate']:g} noise={entry['noise_rate']:g}"
+        )
+    if args.manifest_out:
+        write_manifest(dataset.manifest, args.manifest_out)
+        print(f"wrote {args.manifest_out}")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.experiments.workloads import (
+        run_census_applications,
+        run_census_track,
+        render_track,
+        save_track_report,
+    )
+    from repro.synth.census import get_scenario
+
+    scenarios = args.scenarios.split(",") if args.scenarios else None
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    report = run_census_track(
+        scenarios, seeds=seeds, scale=args.scale, backend=args.backend
+    )
+    print(render_track(report))
+    if args.save:
+        save_track_report(report, args.save)
+        print(f"wrote {args.save}")
+    if args.applications:
+        keys = report.scenarios
+        for key in keys:
+            if not get_scenario(key).mi_targets:
+                continue
+            apps = run_census_applications(
+                key, seed=seeds[0], scale=args.scale
+            )
+            print(
+                f"applications[{key}]: label={apps['label']}"
+                f" selection_overlap={apps['selection_overlap']:.2f}"
+                f" tree_swope={apps['tree_accuracy_swope']:.3f}"
+                f" tree_exact={apps['tree_accuracy_exact']:.3f}"
+            )
+    return 0 if report.violation_count == 0 else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -596,6 +745,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_select(args)
         if args.command == "describe":
             return _cmd_describe(args)
+        if args.command == "synth-census":
+            return _cmd_synth_census(args)
+        if args.command == "workloads":
+            return _cmd_workloads(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

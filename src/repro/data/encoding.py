@@ -21,17 +21,34 @@ from repro.exceptions import EncodingError
 __all__ = ["CategoricalEncoder", "encode_column", "encode_table"]
 
 
+def _is_nan(value: object) -> bool:
+    """True for any float-like NaN (``float``, ``np.floating``, Decimal)."""
+    try:
+        return bool(value != value)
+    except Exception:
+        return False
+
+
 def encode_column(values: Sequence[object] | np.ndarray) -> tuple[np.ndarray, list[object]]:
     """Encode one column of raw values into dense integer codes.
 
     Values are assigned codes in order of first appearance, which keeps the
     encoding deterministic for a fixed input sequence.
 
+    All NaN values share a single code. NaN compares unequal to itself,
+    so a plain dict keyed on the values would hand every NaN row a fresh
+    code — a column with missing values recorded as NaN would silently
+    explode to support size ~N and then be dropped whole by the paper's
+    u <= 1000 preprocessing filter. Canonicalising NaN keeps "missing"
+    as one ordinary category, which is what every count-based score
+    expects.
+
     Returns
     -------
     (codes, vocabulary):
         ``codes`` is an int64 array with ``codes[r]`` the code of row ``r``;
-        ``vocabulary[i]`` is the raw value assigned code ``i``.
+        ``vocabulary[i]`` is the raw value assigned code ``i`` (the first
+        NaN encountered stands for all of them).
 
     Raises
     ------
@@ -40,6 +57,7 @@ def encode_column(values: Sequence[object] | np.ndarray) -> tuple[np.ndarray, li
     """
     mapping: dict[object, int] = {}
     vocabulary: list[object] = []
+    nan_code: int | None = None
     codes = np.empty(len(values), dtype=np.int64)
     for row, value in enumerate(values):
         try:
@@ -49,9 +67,15 @@ def encode_column(values: Sequence[object] | np.ndarray) -> tuple[np.ndarray, li
                 f"unhashable value at row {row}: {value!r}"
             ) from exc
         if code is None:
-            code = len(vocabulary)
-            mapping[value] = code
-            vocabulary.append(value)
+            if _is_nan(value):
+                if nan_code is None:
+                    nan_code = len(vocabulary)
+                    vocabulary.append(value)
+                code = nan_code
+            else:
+                code = len(vocabulary)
+                mapping[value] = code
+                vocabulary.append(value)
         codes[row] = code
     return codes, vocabulary
 

@@ -16,21 +16,26 @@ __all__ = [
     "PAPER_MAX_SUPPORT",
     "drop_high_support_columns",
     "drop_constant_columns",
+    "partition_by_support",
 ]
 
 #: The support-size cutoff used throughout the paper's evaluation.
 PAPER_MAX_SUPPORT = 1000
 
 
-def drop_high_support_columns(
+def partition_by_support(
     store: ColumnStore, max_support: int = PAPER_MAX_SUPPORT
-) -> ColumnStore:
-    """Return a store without columns whose support size exceeds ``max_support``.
+) -> tuple[ColumnStore, tuple[str, ...]]:
+    """Split ``store`` at the support cutoff: ``(kept store, dropped names)``.
 
-    Mirrors the paper's evaluation preprocessing (cutoff 1000). If every
-    column would be removed the original cutoff was clearly inappropriate
-    for this dataset, so a :class:`~repro.exceptions.ParameterError` is
-    raised instead of returning an unusable empty store.
+    The kept store contains every column with ``u_alpha <= max_support``;
+    the returned tuple names the columns that were removed, in store
+    order, so callers (the census workload track, reports) can account
+    for what the paper's preprocessing discarded instead of losing that
+    information silently. If every column would be removed the cutoff is
+    clearly inappropriate for this dataset, so a
+    :class:`~repro.exceptions.ParameterError` is raised instead of
+    returning an unusable empty store.
     """
     if max_support < 1:
         raise ParameterError(f"max_support must be >= 1, got {max_support}")
@@ -41,9 +46,25 @@ def drop_high_support_columns(
         raise ParameterError(
             f"all {store.num_attributes} columns exceed support size {max_support}"
         )
-    if len(kept) == store.num_attributes:
-        return store
-    return store.select(kept)
+    dropped = tuple(
+        name for name in store.attributes if store.support_size(name) > max_support
+    )
+    if not dropped:
+        return store, ()
+    return store.select(kept), dropped
+
+
+def drop_high_support_columns(
+    store: ColumnStore, max_support: int = PAPER_MAX_SUPPORT
+) -> ColumnStore:
+    """Return a store without columns whose support size exceeds ``max_support``.
+
+    Mirrors the paper's evaluation preprocessing (cutoff 1000); see
+    :func:`partition_by_support` for the variant that also reports which
+    columns were removed.
+    """
+    kept, _ = partition_by_support(store, max_support)
+    return kept
 
 
 def drop_constant_columns(store: ColumnStore) -> ColumnStore:

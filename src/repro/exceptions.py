@@ -95,6 +95,25 @@ class CheckpointMismatchError(CheckpointError):
     """
 
 
+class ManifestError(ReproError):
+    """A dataset provenance manifest is malformed or cannot be processed.
+
+    Raised by :mod:`repro.synth.census` when a manifest file is not valid
+    JSON, misses required keys, or carries an unknown schema version.
+    """
+
+
+class ManifestMismatchError(ManifestError):
+    """A provenance manifest does not describe the dataset at hand.
+
+    Raised when verification finds the realized dataset (column set,
+    row count, or sha256 fingerprint) differing from what the manifest
+    records — the dataset cannot be trusted to be the manifested one,
+    so benchmarks and golden comparisons must refuse it rather than
+    silently compare against different data.
+    """
+
+
 class QueryInterruptedError(ReproError):
     """A query stopped before its stopping rule fired (strict mode only).
 

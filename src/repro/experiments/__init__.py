@@ -38,9 +38,21 @@ from repro.experiments.runner import (
     run_mi_filter,
     run_mi_top_k,
 )
+from repro.experiments.workloads import (
+    CensusTrackReport,
+    ScenarioOutcome,
+    ScenarioQueryReport,
+    census_plan,
+    render_track,
+    run_census_applications,
+    run_census_track,
+    run_scenario,
+    save_track_report,
+)
 
 __all__ = [
     "ALGORITHMS",
+    "CensusTrackReport",
     "FIGURES",
     "FigurePoint",
     "FigureRun",
@@ -51,6 +63,9 @@ __all__ = [
     "PointDelta",
     "QueryOutcome",
     "RunComparison",
+    "ScenarioOutcome",
+    "ScenarioQueryReport",
+    "census_plan",
     "check_filter_guarantee",
     "check_top_k_guarantee",
     "compare_runs",
@@ -63,9 +78,14 @@ __all__ = [
     "relative_error",
     "render_figure",
     "render_table2",
+    "render_track",
+    "run_census_applications",
+    "run_census_track",
     "run_entropy_filter",
+    "run_scenario",
     "save_figure_run",
     "save_figure_svg",
+    "save_track_report",
     "run_entropy_top_k",
     "run_figure",
     "run_mi_filter",

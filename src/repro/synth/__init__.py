@@ -7,6 +7,20 @@ same algorithmic behaviour — see DESIGN.md Section 3 for the substitution
 argument.
 """
 
+from repro.synth.census import (
+    MANIFEST_SCHEMA_VERSION,
+    SCENARIOS,
+    CensusColumnSpec,
+    CensusDataset,
+    CensusScenario,
+    generate_census,
+    get_scenario,
+    load_manifest,
+    manifest_json,
+    regenerate_from_manifest,
+    verify_manifest,
+    write_manifest,
+)
 from repro.synth.correlation import (
     analytic_noisy_copy_mi,
     noisy_copy,
@@ -33,6 +47,11 @@ from repro.synth.distributions import (
 
 __all__ = [
     "DATASETS",
+    "MANIFEST_SCHEMA_VERSION",
+    "SCENARIOS",
+    "CensusColumnSpec",
+    "CensusDataset",
+    "CensusScenario",
     "ColumnPlan",
     "DatasetPlan",
     "SyntheticDataset",
@@ -40,13 +59,20 @@ __all__ = [
     "build_plan",
     "dataset_summary",
     "generate",
+    "generate_census",
     "geometric_probabilities",
+    "get_scenario",
     "head_mixture_probabilities",
     "load_dataset",
+    "load_manifest",
+    "manifest_json",
     "noisy_copy",
     "probabilities_with_entropy",
+    "regenerate_from_manifest",
     "retention_for_mi",
     "sample_categorical",
     "uniform_probabilities",
+    "verify_manifest",
+    "write_manifest",
     "zipf_probabilities",
 ]

@@ -1,0 +1,694 @@
+"""Census-shaped workload scenarios with provenance manifests.
+
+The registry in :mod:`repro.synth.datasets` mirrors the paper's evaluation
+comfort zone: clean parametric columns, supports safely under the u = 1000
+preprocessing cutoff. Production survey extracts are not like that — they
+carry Zipf-skewed high-cardinality identifier columns (surnames, street
+names, ZIP codes), correlated demographic groups, missing values, and
+keying noise. This module generates those shapes deterministically:
+
+* **scenario specs** (:class:`CensusScenario`) declare every column as one
+  of four families — ``zipf`` (power-law identifiers), ``entropy``
+  (marginal with a prescribed entropy), ``correlated_base`` /
+  ``correlated`` (a noisy-copy group with population MI dialled via
+  :func:`repro.synth.correlation.retention_for_mi`) — plus per-column
+  missingness and categorical-noise corruption rates and the query batch
+  the scenario is meant to answer;
+* **generation** (:func:`generate_census`) materialises a spec into a
+  :class:`~repro.data.column_store.ColumnStore`. Missing values become a
+  dedicated sentinel code ``u`` (the declared support grows by one), so a
+  missing-laden column stays one well-posed categorical attribute instead
+  of exploding into per-row NaN codes;
+* **provenance manifests**: every generated dataset carries a
+  deterministic JSON manifest (schema version, scenario, seed, scale,
+  rows, per-column support/distribution summary, sha256 of the encoded
+  columns). The sha256 is :func:`repro.durability.checkpoint.store_fingerprint`,
+  the same identity the checkpoint and plan-cache layers key on, so a
+  manifest pins exactly the dataset a benchmark, golden trace, or cache
+  partition saw. Manifests are written via :mod:`repro.durability.atomic`.
+
+The experiments layer (:mod:`repro.experiments.workloads`) turns these
+scenarios into a second accuracy/performance track beside the paper
+figures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.data.column_store import ColumnStore
+from repro.data.describe import profile_attribute
+from repro.durability.atomic import atomic_write_text
+from repro.durability.checkpoint import store_fingerprint
+from repro.exceptions import (
+    DataFormatError,
+    ManifestError,
+    ManifestMismatchError,
+    ParameterError,
+)
+from repro.synth.correlation import noisy_copy, retention_for_mi
+from repro.synth.distributions import (
+    probabilities_with_entropy,
+    sample_categorical,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "COLUMN_FAMILIES",
+    "CensusColumnSpec",
+    "CensusScenario",
+    "CensusDataset",
+    "SCENARIOS",
+    "get_scenario",
+    "generate_census",
+    "manifest_json",
+    "write_manifest",
+    "load_manifest",
+    "verify_manifest",
+    "regenerate_from_manifest",
+]
+
+#: Schema tag of the provenance manifest (the ``stage1_synth_v1`` pattern).
+MANIFEST_SCHEMA_VERSION = "census_scenario_v1"
+
+#: Generator families a column spec may use.
+COLUMN_FAMILIES = ("zipf", "entropy", "correlated_base", "correlated")
+
+#: Row floor applied after scaling, so bound formulas stay in a sane regime.
+_MIN_ROWS = 512
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CensusColumnSpec:
+    """How one census-shaped column is generated.
+
+    ``family`` selects the marginal generator: ``"zipf"`` needs
+    ``zipf_exponent``, ``"entropy"`` and ``"correlated_base"`` need
+    ``target_entropy``, and ``"correlated"`` names a preceding ``base``
+    column plus a population ``target_mi`` (the noisy-copy ``retention``
+    is solved at registry-build time and recorded here).
+
+    Corruption is applied after generation, in order: first categorical
+    noise (each record independently replaced by a uniform draw over the
+    base domain with probability ``noise_rate``), then missingness (each
+    record independently replaced by the sentinel code ``support_size``
+    with probability ``missing_rate``). A missing-capable column
+    therefore declares support ``support_size + 1``.
+    """
+
+    name: str
+    family: str
+    support_size: int
+    zipf_exponent: float | None = None
+    target_entropy: float | None = None
+    base: str | None = None
+    target_mi: float | None = None
+    retention: float | None = None
+    missing_rate: float = 0.0
+    noise_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.family not in COLUMN_FAMILIES:
+            raise ParameterError(
+                f"column {self.name!r}: unknown family {self.family!r};"
+                f" expected one of {COLUMN_FAMILIES}"
+            )
+        if self.support_size < 2:
+            raise ParameterError(
+                f"column {self.name!r}: support size must be >= 2,"
+                f" got {self.support_size}"
+            )
+        if not 0.0 <= self.missing_rate < 1.0:
+            raise ParameterError(
+                f"column {self.name!r}: missing_rate must be in [0, 1),"
+                f" got {self.missing_rate}"
+            )
+        if not 0.0 <= self.noise_rate < 1.0:
+            raise ParameterError(
+                f"column {self.name!r}: noise_rate must be in [0, 1),"
+                f" got {self.noise_rate}"
+            )
+        if self.family == "zipf":
+            if self.zipf_exponent is None:
+                raise ParameterError(
+                    f"column {self.name!r}: a zipf column needs zipf_exponent"
+                )
+        elif self.family in ("entropy", "correlated_base"):
+            if self.target_entropy is None:
+                raise ParameterError(
+                    f"column {self.name!r}: an {self.family} column needs"
+                    " target_entropy"
+                )
+        else:  # correlated
+            if self.base is None or self.target_mi is None:
+                raise ParameterError(
+                    f"column {self.name!r}: a correlated column needs"
+                    " base and target_mi"
+                )
+
+    @property
+    def declared_support(self) -> int:
+        """The support the generated store declares (+1 for the sentinel)."""
+        return self.support_size + (1 if self.missing_rate > 0.0 else 0)
+
+    @property
+    def missing_code(self) -> int | None:
+        """The sentinel code missing records carry (``None`` if never missing)."""
+        return self.support_size if self.missing_rate > 0.0 else None
+
+
+@dataclass(frozen=True)
+class CensusScenario:
+    """One census workload: columns, corruption, and the query batch.
+
+    ``queries`` holds JSON-shaped query-spec mappings (the
+    :meth:`repro.core.plan.QuerySpec.from_dict` dialect) so a scenario
+    stays serialisable and :mod:`repro.synth` stays below the planning
+    layer; :mod:`repro.experiments.workloads` compiles them into specs.
+    """
+
+    key: str
+    title: str
+    description: str
+    num_rows: int
+    columns: tuple[CensusColumnSpec, ...]
+    queries: tuple[Mapping[str, object], ...]
+    mi_targets: tuple[str, ...] = ()
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, name: str) -> CensusColumnSpec:
+        """The spec of column ``name`` (:class:`ParameterError` if unknown)."""
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise ParameterError(
+            f"scenario {self.key!r} has no column {name!r}"
+        )
+
+
+@dataclass
+class CensusDataset:
+    """A generated census dataset: the store, its recipe, and its manifest."""
+
+    store: ColumnStore
+    scenario: CensusScenario
+    seed: int
+    scale: float
+    manifest: dict[str, object]
+
+    @property
+    def fingerprint(self) -> str:
+        """The manifest's sha256 (= the checkpoint/cache store fingerprint)."""
+        return str(self.manifest["sha256"])
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def _build_scenario(
+    key: str,
+    title: str,
+    description: str,
+    num_rows: int,
+    columns: tuple[CensusColumnSpec, ...],
+    queries: tuple[Mapping[str, object], ...],
+    mi_targets: tuple[str, ...] = (),
+) -> CensusScenario:
+    """Validate a scenario and solve correlated columns' retentions.
+
+    Retention is solved here, against the *population* base distribution,
+    so generation stays a pure function of (scenario, seed, scale) with
+    no per-run bisection.
+    """
+    seen: set[str] = set()
+    base_probabilities: dict[str, np.ndarray] = {}
+    resolved: list[CensusColumnSpec] = []
+    for spec in columns:
+        if spec.name in seen:
+            raise ParameterError(
+                f"scenario {key!r}: duplicate column name {spec.name!r}"
+            )
+        seen.add(spec.name)
+        if spec.family == "zipf":
+            assert spec.zipf_exponent is not None
+            base_probabilities[spec.name] = zipf_probabilities(
+                spec.support_size, spec.zipf_exponent
+            )
+        elif spec.family in ("entropy", "correlated_base"):
+            assert spec.target_entropy is not None
+            base_probabilities[spec.name] = probabilities_with_entropy(
+                spec.support_size, spec.target_entropy
+            )
+        else:  # correlated
+            assert spec.base is not None and spec.target_mi is not None
+            if spec.base not in base_probabilities:
+                raise ParameterError(
+                    f"scenario {key!r}: column {spec.name!r} names base"
+                    f" {spec.base!r}, which must be declared earlier"
+                )
+            probs = base_probabilities[spec.base]
+            if probs.size != spec.support_size:
+                raise ParameterError(
+                    f"scenario {key!r}: column {spec.name!r} declares support"
+                    f" {spec.support_size}, but base {spec.base!r} has"
+                    f" support {probs.size} (noisy copies share the domain)"
+                )
+            spec = replace(
+                spec, retention=retention_for_mi(probs, spec.target_mi)
+            )
+        resolved.append(spec)
+    for target in mi_targets:
+        if target not in seen:
+            raise ParameterError(
+                f"scenario {key!r}: MI target {target!r} is not a column"
+            )
+    return CensusScenario(
+        key=key,
+        title=title,
+        description=description,
+        num_rows=num_rows,
+        columns=tuple(resolved),
+        queries=queries,
+        mi_targets=mi_targets,
+    )
+
+
+def _zipf(name: str, support: int, exponent: float, **corruption: float) -> CensusColumnSpec:
+    return CensusColumnSpec(
+        name=name, family="zipf", support_size=support,
+        zipf_exponent=exponent, **corruption,
+    )
+
+
+def _ent(name: str, support: int, entropy: float, **corruption: float) -> CensusColumnSpec:
+    return CensusColumnSpec(
+        name=name, family="entropy", support_size=support,
+        target_entropy=entropy, **corruption,
+    )
+
+
+def _base(name: str, support: int, entropy: float) -> CensusColumnSpec:
+    return CensusColumnSpec(
+        name=name, family="correlated_base", support_size=support,
+        target_entropy=entropy,
+    )
+
+
+def _corr(name: str, base: str, support: int, mi: float, **corruption: float) -> CensusColumnSpec:
+    return CensusColumnSpec(
+        name=name, family="correlated", support_size=support,
+        base=base, target_mi=mi, **corruption,
+    )
+
+
+#: The census workload catalogue. Keys are stable identifiers used by
+#: manifests, the CLI, CI, and golden artifacts — renaming one is a
+#: manifest schema change.
+SCENARIOS: dict[str, CensusScenario] = {
+    "skewed": _build_scenario(
+        "skewed",
+        "Zipf-skewed identifiers",
+        "High-cardinality power-law columns (surname/street/ZIP-like)"
+        " straddling the u = 1000 preprocessing cutoff, plus moderate"
+        " demographic attributes; entropy top-k and filter over the"
+        " surviving columns.",
+        num_rows=60_000,
+        columns=(
+            _zipf("surname", 4000, 1.07),
+            _zipf("street", 2500, 0.9),
+            _zipf("given_name", 900, 1.0),
+            _zipf("zipcode", 800, 0.6),
+            _zipf("city", 400, 1.1),
+            _zipf("occupation", 300, 0.8),
+            _ent("age", 96, 5.9),
+            _ent("industry", 120, 5.2),
+            _ent("income_band", 40, 4.1),
+            _ent("education", 24, 3.4),
+            _ent("household_size", 16, 2.2),
+        ),
+        queries=(
+            {"kind": "topk-entropy", "k": 3, "name": "skew_top3"},
+            {"kind": "filter-entropy", "threshold": 4.0, "name": "skew_ge4"},
+        ),
+    ),
+    "correlated": _build_scenario(
+        "correlated",
+        "Correlated demographic group",
+        "An ancestry-style base column with noisy-copy members whose"
+        " population MI spans 0.05-2.5 bits, plus independent filler;"
+        " every support is below the cutoff, so the manifest sha256"
+        " doubles as the plan-cache partition fingerprint.",
+        num_rows=40_000,
+        columns=(
+            _base("ancestry", 32, 4.4),
+            _corr("birth_region", "ancestry", 32, 2.5),
+            _corr("language", "ancestry", 32, 1.8),
+            _corr("citizenship", "ancestry", 32, 1.2),
+            _corr("dialect", "ancestry", 32, 0.8),
+            _corr("cuisine", "ancestry", 32, 0.45),
+            _corr("music_pref", "ancestry", 32, 0.2),
+            _corr("sports_pref", "ancestry", 32, 0.05),
+            _ent("age", 96, 5.9),
+            _ent("income", 200, 6.1),
+            _ent("education", 24, 3.3),
+        ),
+        queries=(
+            {"kind": "topk-mi", "target": "ancestry", "k": 3, "name": "corr_mi_top3"},
+            {"kind": "filter-mi", "target": "ancestry", "threshold": 0.3, "name": "corr_mi_ge03"},
+            {"kind": "topk-entropy", "k": 2, "name": "corr_ent_top2"},
+        ),
+        mi_targets=("ancestry",),
+    ),
+    "noisy": _build_scenario(
+        "noisy",
+        "Missing and noised survey extract",
+        "Realistic corruption: per-column missingness from 5% to 60%"
+        " (sentinel-coded), categorical keying noise up to 15%, one"
+        " over-cutoff identifier, and a noised correlated pair.",
+        num_rows=40_000,
+        columns=(
+            _zipf("phone_area", 1400, 0.8, missing_rate=0.05),
+            _base("employer_sector", 48, 4.6),
+            _corr("occupation_code", "employer_sector", 48, 1.5,
+                  missing_rate=0.15, noise_rate=0.1),
+            _zipf("occupation_text", 600, 0.9, missing_rate=0.25, noise_rate=0.05),
+            _ent("income", 150, 5.5, missing_rate=0.6),
+            _ent("age", 96, 5.9, noise_rate=0.05),
+            _ent("education", 24, 3.4, missing_rate=0.05, noise_rate=0.15),
+        ),
+        queries=(
+            {"kind": "topk-entropy", "k": 3, "name": "noisy_top3"},
+            {"kind": "filter-entropy", "threshold": 3.0, "name": "noisy_ge3"},
+            {"kind": "topk-mi", "target": "employer_sector", "k": 2, "name": "noisy_mi_top2"},
+        ),
+        mi_targets=("employer_sector",),
+    ),
+    "threshold": _build_scenario(
+        "threshold",
+        "Supports straddling the drop cutoff",
+        "Columns at u in {998, 1000, 1001, 5000} around the paper's"
+        " u = 1000 preprocessing cutoff, plus mid-support attributes;"
+        " exercises the drop boundary and the bias term b(alpha) on"
+        " kept near-threshold columns.",
+        num_rows=50_000,
+        columns=(
+            _zipf("near_low", 998, 0.4),
+            _zipf("at_cut", 1000, 0.4),
+            _zipf("just_over", 1001, 0.4),
+            _zipf("far_over", 5000, 0.7),
+            _ent("mid_a", 128, 6.5),
+            _ent("mid_b", 64, 5.0),
+            _ent("mid_c", 256, 7.0),
+        ),
+        queries=(
+            {"kind": "topk-entropy", "k": 3, "name": "thr_top3"},
+            {"kind": "filter-entropy", "threshold": 6.0, "name": "thr_ge6"},
+        ),
+    ),
+}
+
+
+def get_scenario(key: str) -> CensusScenario:
+    """Look up a registry scenario (:class:`ParameterError` if unknown)."""
+    try:
+        return SCENARIOS[key]
+    except KeyError:
+        raise ParameterError(
+            f"unknown census scenario {key!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+def _scenario_salt(key: str) -> int:
+    """A stable per-scenario seed component (first 4 sha256 bytes)."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:4], "big"
+    )
+
+
+def generate_census(
+    scenario: Union[str, CensusScenario], *, seed: int = 0, scale: float = 1.0
+) -> CensusDataset:
+    """Materialise a scenario into a store plus its provenance manifest.
+
+    Generation is a pure function of ``(scenario key, seed, scale)``:
+    each column draws from its own child generator seeded by
+    ``[seed, scenario salt, column index]``, so adding or reordering
+    *later* columns never perturbs earlier ones, and the same triple
+    reproduces the dataset (and therefore the manifest) byte for byte.
+
+    Parameters
+    ----------
+    scenario:
+        A registry key or a :class:`CensusScenario`.
+    seed:
+        Dataset seed (>= 0).
+    scale:
+        Row-count multiplier; rows are floored at 512.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if seed < 0:
+        raise ParameterError(f"seed must be >= 0, got {seed}")
+    if scale <= 0:
+        raise ParameterError(f"scale must be > 0, got {scale}")
+    num_rows = max(_MIN_ROWS, int(round(scenario.num_rows * scale)))
+    salt = _scenario_salt(scenario.key)
+    clean: dict[str, np.ndarray] = {}
+    stored: dict[str, np.ndarray] = {}
+    supports: dict[str, int] = {}
+    realized_noise: dict[str, float] = {}
+    realized_missing: dict[str, float] = {}
+    for index, spec in enumerate(scenario.columns):
+        rng = np.random.default_rng([seed, salt, index])
+        if spec.family == "correlated":
+            assert spec.base is not None and spec.retention is not None
+            values = noisy_copy(
+                rng, clean[spec.base], spec.support_size, spec.retention
+            )
+        elif spec.family == "zipf":
+            assert spec.zipf_exponent is not None
+            probs = zipf_probabilities(spec.support_size, spec.zipf_exponent)
+            values = sample_categorical(rng, probs, num_rows)
+        else:
+            assert spec.target_entropy is not None
+            probs = probabilities_with_entropy(
+                spec.support_size, spec.target_entropy
+            )
+            values = sample_categorical(rng, probs, num_rows)
+        # Children copy the *clean* base, so a base's own corruption does
+        # not leak sentinel codes into its noisy copies.
+        clean[spec.name] = values
+        corrupted = values
+        noise_fraction = 0.0
+        if spec.noise_rate > 0.0:
+            mask = rng.random(num_rows) < spec.noise_rate
+            draws = rng.integers(
+                0, spec.support_size, size=num_rows, dtype=np.int64
+            )
+            corrupted = np.where(mask, draws, corrupted)
+            noise_fraction = float(mask.mean())
+        missing_fraction = 0.0
+        if spec.missing_rate > 0.0:
+            mask = rng.random(num_rows) < spec.missing_rate
+            corrupted = np.where(mask, np.int64(spec.support_size), corrupted)
+            missing_fraction = float(mask.mean())
+        stored[spec.name] = np.asarray(corrupted, dtype=np.int64)
+        supports[spec.name] = spec.declared_support
+        realized_noise[spec.name] = noise_fraction
+        realized_missing[spec.name] = missing_fraction
+    store = ColumnStore(stored, support_sizes=supports)
+    manifest = _build_manifest(
+        store, scenario, seed, scale, realized_noise, realized_missing
+    )
+    return CensusDataset(
+        store=store, scenario=scenario, seed=seed, scale=float(scale),
+        manifest=manifest,
+    )
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+_MANIFEST_REQUIRED_KEYS = (
+    "schema_version", "scenario", "seed", "scale", "num_rows",
+    "num_columns", "sha256", "columns",
+)
+
+
+def _build_manifest(
+    store: ColumnStore,
+    scenario: CensusScenario,
+    seed: int,
+    scale: float,
+    realized_noise: Mapping[str, float],
+    realized_missing: Mapping[str, float],
+) -> dict[str, object]:
+    columns: list[dict[str, object]] = []
+    for spec in scenario.columns:
+        profile = profile_attribute(store, spec.name)
+        columns.append(
+            {
+                "name": spec.name,
+                "family": spec.family,
+                "support_size": profile.support_size,
+                "base_support": spec.support_size,
+                "missing_code": spec.missing_code,
+                "observed_values": profile.observed_values,
+                "entropy": round(profile.entropy, 6),
+                "top_share": round(profile.top_share, 6),
+                "zipf_exponent": spec.zipf_exponent,
+                "target_entropy": spec.target_entropy,
+                "base": spec.base,
+                "target_mi": spec.target_mi,
+                "retention": (
+                    None if spec.retention is None else round(spec.retention, 9)
+                ),
+                "missing_rate": spec.missing_rate,
+                "noise_rate": spec.noise_rate,
+                "realized_missing_rate": round(realized_missing[spec.name], 6),
+                "realized_noise_rate": round(realized_noise[spec.name], 6),
+            }
+        )
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "scenario": scenario.key,
+        "title": scenario.title,
+        "seed": int(seed),
+        "scale": float(scale),
+        "num_rows": store.num_rows,
+        "num_columns": store.num_attributes,
+        "sha256": store_fingerprint(store),
+        "columns": columns,
+    }
+
+
+def manifest_json(manifest: Mapping[str, object]) -> str:
+    """The canonical byte representation of a manifest.
+
+    Sorted keys, two-space indentation, trailing newline — goldens and
+    determinism tests compare this string (and its UTF-8 bytes) directly.
+    """
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def write_manifest(manifest: Mapping[str, object], path: Union[str, Path]) -> Path:
+    """Durably write a manifest (atomic write-rename); returns the path."""
+    return atomic_write_text(path, manifest_json(manifest))
+
+
+def load_manifest(path: Union[str, Path]) -> dict[str, object]:
+    """Read and structurally validate a manifest file.
+
+    Raises
+    ------
+    DataFormatError
+        If the file cannot be read or is not valid JSON.
+    ManifestError
+        If it is not a manifest object, misses required keys, or carries
+        an unknown schema version.
+    """
+    source = Path(path)
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise DataFormatError(f"cannot read manifest {source}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DataFormatError(f"{source} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ManifestError(f"{source}: a manifest must be a JSON object")
+    missing = [key for key in _MANIFEST_REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise ManifestError(f"{source}: manifest misses keys {missing}")
+    version = payload["schema_version"]
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise ManifestError(
+            f"{source}: unknown manifest schema {version!r};"
+            f" this build reads {MANIFEST_SCHEMA_VERSION!r}"
+        )
+    if not isinstance(payload["columns"], list):
+        raise ManifestError(f"{source}: 'columns' must be a list")
+    return payload
+
+
+def verify_manifest(
+    manifest: Mapping[str, object], store: ColumnStore
+) -> None:
+    """Check that ``store`` is exactly the dataset ``manifest`` describes.
+
+    Compares row count, the ordered column/support schema, and finally
+    the sha256 fingerprint of the encoded columns. Raises
+    :class:`~repro.exceptions.ManifestMismatchError` on the first
+    difference, with a message naming what diverged.
+    """
+    if int(str(manifest["num_rows"])) != store.num_rows:
+        raise ManifestMismatchError(
+            f"manifest records {manifest['num_rows']} rows,"
+            f" store has {store.num_rows}"
+        )
+    entries = manifest["columns"]
+    assert isinstance(entries, list)
+    names = tuple(str(entry["name"]) for entry in entries)
+    if names != store.attributes:
+        raise ManifestMismatchError(
+            f"manifest columns {names} differ from store columns"
+            f" {store.attributes}"
+        )
+    for entry in entries:
+        name = str(entry["name"])
+        declared = int(str(entry["support_size"]))
+        if declared != store.support_size(name):
+            raise ManifestMismatchError(
+                f"manifest declares support {declared} for {name!r},"
+                f" store has {store.support_size(name)}"
+            )
+    expected = str(manifest["sha256"])
+    actual = store_fingerprint(store)
+    if expected != actual:
+        raise ManifestMismatchError(
+            f"manifest sha256 {expected[:12]}... does not match the"
+            f" store's {actual[:12]}... — not the manifested dataset"
+        )
+
+
+def regenerate_from_manifest(manifest: Mapping[str, object]) -> CensusDataset:
+    """Re-run generation from a manifest's recorded (scenario, seed, scale).
+
+    Verifies the regenerated store against the manifest before returning,
+    so a successful call proves the manifest round-trips: the recorded
+    triple still produces the exact bytes it fingerprints.
+
+    Raises
+    ------
+    ManifestError
+        If the recorded scenario is not in the registry.
+    ManifestMismatchError
+        If regeneration no longer reproduces the manifested dataset.
+    """
+    key = str(manifest["scenario"])
+    if key not in SCENARIOS:
+        raise ManifestError(
+            f"manifest names scenario {key!r}, which is not in the registry"
+        )
+    dataset = generate_census(
+        key, seed=int(str(manifest["seed"])), scale=float(str(manifest["scale"]))
+    )
+    verify_manifest(manifest, dataset.store)
+    return dataset

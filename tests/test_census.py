@@ -1,0 +1,306 @@
+"""Census scenario generators, provenance manifests, and degenerate inputs.
+
+Covers the :mod:`repro.synth.census` surface — registry structure,
+deterministic generation, manifest round-trips and error paths — plus the
+bugfix sweep the suite surfaced: NaN canonicalisation in
+:mod:`repro.data.encoding`, degenerate columns through ``describe``, and
+the accounting variant of the support filter.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.data.column_store import ColumnStore
+from repro.data.describe import describe_store, profile_attribute
+from repro.data.encoding import encode_column, encode_table
+from repro.data.filters import (
+    PAPER_MAX_SUPPORT,
+    drop_high_support_columns,
+    partition_by_support,
+)
+from repro.durability.checkpoint import store_fingerprint
+from repro.exceptions import (
+    DataFormatError,
+    ManifestError,
+    ManifestMismatchError,
+    ParameterError,
+)
+from repro.synth.census import (
+    COLUMN_FAMILIES,
+    MANIFEST_SCHEMA_VERSION,
+    SCENARIOS,
+    CensusColumnSpec,
+    generate_census,
+    get_scenario,
+    load_manifest,
+    manifest_json,
+    regenerate_from_manifest,
+    verify_manifest,
+    write_manifest,
+)
+
+SCALE = 0.01  # ~500-600 rows per scenario: fast, still multi-iteration
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_has_the_four_blind_spot_scenarios() -> None:
+    assert set(SCENARIOS) == {"skewed", "correlated", "noisy", "threshold"}
+    for scenario in SCENARIOS.values():
+        assert scenario.queries, scenario.key
+        assert scenario.num_columns >= 7
+        for spec in scenario.columns:
+            assert spec.family in COLUMN_FAMILIES
+
+
+def test_registry_covers_the_drop_threshold() -> None:
+    supports = {
+        spec.support_size
+        for scenario in SCENARIOS.values()
+        for spec in scenario.columns
+    }
+    # Below, at, just above, and far above u = 1000 (the ISSUE's grid).
+    for u in (998, 1000, 1001, 5000):
+        assert u in supports
+    assert any(u > PAPER_MAX_SUPPORT for u in supports)
+
+
+def test_get_scenario_unknown_key() -> None:
+    with pytest.raises(ParameterError, match="unknown census scenario"):
+        get_scenario("nope")
+
+
+def test_scenario_column_lookup() -> None:
+    scenario = get_scenario("correlated")
+    assert scenario.column("ancestry").family == "correlated_base"
+    with pytest.raises(ParameterError, match="no column"):
+        scenario.column("missing_col")
+
+
+@pytest.mark.parametrize(
+    "kwargs, message",
+    [
+        (dict(name="x", family="weird", support_size=4), "unknown family"),
+        (dict(name="x", family="zipf", support_size=1, zipf_exponent=1.0),
+         "support size"),
+        (dict(name="x", family="zipf", support_size=4), "zipf_exponent"),
+        (dict(name="x", family="entropy", support_size=4), "target_entropy"),
+        (dict(name="x", family="correlated", support_size=4), "base and target_mi"),
+        (dict(name="x", family="entropy", support_size=4, target_entropy=1.0,
+              missing_rate=1.0), "missing_rate"),
+        (dict(name="x", family="entropy", support_size=4, target_entropy=1.0,
+              noise_rate=-0.1), "noise_rate"),
+    ],
+)
+def test_column_spec_validation(kwargs: dict, message: str) -> None:
+    with pytest.raises(ParameterError, match=message):
+        CensusColumnSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("key", sorted(SCENARIOS))
+def test_generated_store_matches_declared_schema(key: str) -> None:
+    dataset = generate_census(key, seed=1, scale=SCALE)
+    scenario = dataset.scenario
+    assert dataset.store.attributes == tuple(s.name for s in scenario.columns)
+    for spec in scenario.columns:
+        assert dataset.store.support_size(spec.name) == spec.declared_support
+        column = dataset.store.column(spec.name)
+        assert int(column.min()) >= 0
+        assert int(column.max()) < spec.declared_support
+
+
+def test_missing_values_use_one_sentinel_code() -> None:
+    dataset = generate_census("noisy", seed=0, scale=SCALE)
+    spec = dataset.scenario.column("income")  # 60% missing
+    assert spec.missing_code == spec.support_size
+    column = dataset.store.column("income")
+    missing_share = float(np.mean(column == spec.missing_code))
+    assert 0.4 < missing_share < 0.8
+    # The sentinel is one category, not a per-row explosion: the observed
+    # distinct count stays within the declared domain.
+    profile = profile_attribute(dataset.store, "income")
+    assert profile.observed_values <= spec.declared_support
+
+
+def test_generation_parameter_validation() -> None:
+    with pytest.raises(ParameterError, match="seed"):
+        generate_census("skewed", seed=-1)
+    with pytest.raises(ParameterError, match="scale"):
+        generate_census("skewed", scale=0.0)
+
+
+def test_generation_is_independent_of_later_columns() -> None:
+    # Per-column child seeding: the shared prefix of two scenarios
+    # generates identically even though one has extra columns after it.
+    dataset = generate_census("threshold", seed=5, scale=SCALE)
+    trimmed = dataset.scenario
+    again = generate_census(trimmed, seed=5, scale=SCALE)
+    for name in ("near_low", "mid_a"):
+        np.testing.assert_array_equal(
+            dataset.store.column(name), again.store.column(name)
+        )
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+def test_manifest_records_schema_and_fingerprint() -> None:
+    dataset = generate_census("correlated", seed=2, scale=SCALE)
+    manifest = dataset.manifest
+    assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+    assert manifest["scenario"] == "correlated"
+    assert manifest["seed"] == 2
+    assert manifest["num_rows"] == dataset.store.num_rows
+    assert manifest["sha256"] == store_fingerprint(dataset.store)
+    verify_manifest(manifest, dataset.store)
+
+
+def test_manifest_round_trips_through_disk(tmp_path) -> None:
+    dataset = generate_census("skewed", seed=3, scale=SCALE)
+    path = tmp_path / "skewed.manifest.json"
+    write_manifest(dataset.manifest, path)
+    loaded = load_manifest(path)
+    assert manifest_json(loaded) == manifest_json(dataset.manifest)
+    assert path.read_text(encoding="utf-8") == manifest_json(dataset.manifest)
+    regenerated = regenerate_from_manifest(loaded)
+    assert regenerated.fingerprint == dataset.fingerprint
+
+
+def test_load_manifest_error_paths(tmp_path) -> None:
+    missing = tmp_path / "absent.json"
+    with pytest.raises(DataFormatError, match="cannot read"):
+        load_manifest(missing)
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(DataFormatError, match="not valid JSON"):
+        load_manifest(bad)
+    array = tmp_path / "array.json"
+    array.write_text("[1, 2]", encoding="utf-8")
+    with pytest.raises(ManifestError, match="JSON object"):
+        load_manifest(array)
+    dataset = generate_census("noisy", seed=0, scale=SCALE)
+    payload = dict(dataset.manifest)
+    del payload["sha256"]
+    partial = tmp_path / "partial.json"
+    partial.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(ManifestError, match="misses keys"):
+        load_manifest(partial)
+    payload = dict(dataset.manifest)
+    payload["schema_version"] = "census_scenario_v999"
+    stale = tmp_path / "stale.json"
+    stale.write_text(json.dumps(payload), encoding="utf-8")
+    with pytest.raises(ManifestError, match="unknown manifest schema"):
+        load_manifest(stale)
+
+
+def test_verify_manifest_rejects_foreign_stores() -> None:
+    dataset = generate_census("threshold", seed=0, scale=SCALE)
+    other = generate_census("threshold", seed=1, scale=SCALE)
+    with pytest.raises(ManifestMismatchError, match="sha256"):
+        verify_manifest(dataset.manifest, other.store)
+    shorter = dataset.store.head(100)
+    with pytest.raises(ManifestMismatchError, match="rows"):
+        verify_manifest(dataset.manifest, shorter)
+    renamed = ColumnStore(
+        {f"x_{n}": dataset.store.column(n) for n in dataset.store.attributes},
+        support_sizes={
+            f"x_{n}": dataset.store.support_size(n)
+            for n in dataset.store.attributes
+        },
+    )
+    with pytest.raises(ManifestMismatchError, match="columns"):
+        verify_manifest(dataset.manifest, renamed)
+
+
+def test_regenerate_from_manifest_unknown_scenario() -> None:
+    dataset = generate_census("skewed", seed=0, scale=SCALE)
+    payload = dict(dataset.manifest)
+    payload["scenario"] = "retired_scenario"
+    with pytest.raises(ManifestError, match="not in the registry"):
+        regenerate_from_manifest(payload)
+
+
+# ----------------------------------------------------------------------
+# Support partitioning (the accounting filter variant)
+# ----------------------------------------------------------------------
+def test_partition_by_support_reports_dropped_columns() -> None:
+    dataset = generate_census("threshold", seed=0, scale=SCALE)
+    kept, dropped = partition_by_support(dataset.store)
+    assert dropped == ("just_over", "far_over")
+    assert "near_low" in kept.attributes and "at_cut" in kept.attributes
+    # The legacy API returns the same kept set.
+    legacy = drop_high_support_columns(dataset.store)
+    assert legacy.attributes == kept.attributes
+
+
+def test_partition_by_support_identity_when_nothing_drops() -> None:
+    dataset = generate_census("correlated", seed=0, scale=SCALE)
+    kept, dropped = partition_by_support(dataset.store)
+    assert dropped == ()
+    assert kept is dataset.store  # no needless copy on the no-op path
+
+
+def test_partition_by_support_error_paths() -> None:
+    store = ColumnStore(
+        {
+            "a": np.array([0, 1, 2, 3]),
+            "b": np.array([0, 1, 1, 0]),
+        }
+    )
+    with pytest.raises(ParameterError, match="max_support"):
+        partition_by_support(store, max_support=0)
+    with pytest.raises(ParameterError, match="exceed support size"):
+        partition_by_support(store, max_support=1)
+
+
+# ----------------------------------------------------------------------
+# Bugfix sweep: degenerate columns the suite generates
+# ----------------------------------------------------------------------
+def test_encode_column_canonicalizes_nan() -> None:
+    codes, vocabulary = encode_column(
+        np.array([1.0, float("nan"), float("nan"), 2.0, float("nan")])
+    )
+    assert len(vocabulary) == 3  # 1.0, NaN (once), 2.0
+    assert codes.tolist() == [0, 1, 1, 2, 1]
+    assert math.isnan(vocabulary[1])  # type: ignore[arg-type]
+
+
+def test_encode_column_all_nan_is_one_category() -> None:
+    codes, vocabulary = encode_column(np.full(50, np.nan))
+    assert len(vocabulary) == 1
+    assert set(codes.tolist()) == {0}
+
+
+def test_encode_table_with_nan_missing_survives_the_filter() -> None:
+    # The regression this guards: NaN-missing columns used to blow up to
+    # support ~N and get dropped whole by the u <= 1000 preprocessing.
+    rng = np.random.default_rng(0)
+    raw = rng.integers(0, 10, 2000).astype(np.float64)
+    raw[rng.random(2000) < 0.3] = np.nan
+    store, encoder = encode_table({"with_missing": raw, "clean": rng.integers(0, 5, 2000)})
+    assert store.support_size("with_missing") <= 11
+    kept, dropped = partition_by_support(store)
+    assert dropped == ()
+
+
+def test_describe_handles_constant_and_missing_heavy_columns() -> None:
+    dataset = generate_census("noisy", seed=0, scale=SCALE)
+    with np.errstate(all="raise"):  # any numpy warning becomes an error
+        profiles = describe_store(dataset.store)
+    by_name = {p.attribute: p for p in profiles}
+    income = by_name["income"]
+    assert math.isfinite(income.entropy) and income.entropy > 0.0
+    constant = ColumnStore({"c": np.zeros(100, dtype=np.int64)})
+    with np.errstate(all="raise"):
+        profile = profile_attribute(constant, "c")
+    assert profile.entropy == 0.0
+    assert profile.top_share == 1.0
