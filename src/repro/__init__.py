@@ -64,8 +64,12 @@ from repro.core import (
 )
 from repro.data import (
     CategoricalEncoder,
+    ColumnSource,
     ColumnStore,
+    MmapStore,
+    MmapStoreWriter,
     PrefixSampler,
+    ProcessBackend,
     drop_high_support_columns,
     encode_table,
     load_csv,
@@ -97,6 +101,7 @@ __all__ = [
     "BudgetExceededError",
     "CancellationToken",
     "CategoricalEncoder",
+    "ColumnSource",
     "ColumnStore",
     "ConfidenceInterval",
     "DataFormatError",
@@ -107,10 +112,13 @@ __all__ = [
     "InMemorySink",
     "JsonlSink",
     "MetricsRegistry",
+    "MmapStore",
+    "MmapStoreWriter",
     "MutualInformationInterval",
     "NullSink",
     "ParameterError",
     "PrefixSampler",
+    "ProcessBackend",
     "QueryBudget",
     "QueryCancelledError",
     "QueryInterruptedError",

@@ -1,4 +1,5 @@
-"""The concrete SWOPE per-module rules, ``SWP001``–``SWP012`` and ``SWP017``.
+"""The concrete SWOPE per-module rules: ``SWP001``–``SWP012``, ``SWP017``,
+and ``SWP018``.
 
 Each rule encodes one repository invariant that the test suite can only
 spot-check; ``docs/ANALYSIS.md`` documents the rationale and the
@@ -944,3 +945,56 @@ def _check_cache_fingerprints(context: ModuleContext) -> Iterator[Violation]:
                 " both keywords at the call site, or '# noqa: SWP017' for"
                 " non-cache partition APIs",
             )
+
+
+# ----------------------------------------------------------------------
+# SWP018 — no whole-column materialisation outside the storage layer
+# ----------------------------------------------------------------------
+#: Packages allowed to take whole-column handles: the storage layer
+#: itself (it implements the block API) and the exact baselines (which
+#: are full scans by definition).
+_COLUMN_EXEMPT_PACKAGES = ("repro.data", "repro.baselines")
+
+
+@rule(
+    "SWP018",
+    "no-whole-column-reads",
+    summary="whole-column reads (.column(...)) outside repro.data and"
+    " repro.baselines must use .column_block(...)",
+    scope="src/repro except repro.data and repro.baselines",
+)
+def _check_whole_column_reads(context: ModuleContext) -> Iterator[Violation]:
+    """Keep out-of-core datasets out of RAM.
+
+    :class:`~repro.data.column_store.ColumnSource.column` hands back the
+    *whole* column — on a memory-mapped store that is a page-in of the
+    entire attribute, defeating the block-read design that lets
+    ``N ≫ RAM`` datasets stream. Algorithm and application code must ask
+    for exactly the rows it needs via
+    :meth:`~repro.data.column_store.ColumnSource.column_block`, whose
+    selector matches the sampler's permutation-prefix access pattern.
+    Deliberate full scans (the exact CMI substrate) and wrappers that
+    *implement* the read path may suppress with ``# noqa: SWP018`` and a
+    justification.
+    """
+    if not context.in_package("repro") or any(
+        context.in_package(package) for package in _COLUMN_EXEMPT_PACKAGES
+    ):
+        return
+    this = RULES["SWP018"]
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "column"
+        ):
+            continue
+        yield context.violation(
+            this,
+            node,
+            ".column() outside repro.data/repro.baselines materialises the"
+            " whole column and defeats out-of-core streaming — read only the"
+            " rows you need with .column_block(name, rows), or"
+            " '# noqa: SWP018' with a justification for deliberate full"
+            " scans",
+        )

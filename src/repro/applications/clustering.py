@@ -97,7 +97,10 @@ class _ClusterProfile:
 
 
 def _record(store: ColumnStore, row: int) -> list[int]:
-    return [int(store.column(name)[row]) for name in store.attributes]
+    return [
+        int(store.column_block(name, slice(row, row + 1))[0])
+        for name in store.attributes
+    ]
 
 
 def _disagreement(a: list[int], b: list[int]) -> int:
@@ -125,7 +128,7 @@ def expected_entropy(store: ColumnStore, assignments: np.ndarray, k: int) -> flo
             # Per-cluster conditional counts over caller-chosen row
             # subsets: not prefix sampling, so no backend seam applies.
             counts = np.bincount(  # noqa: SWP009
-                store.column(name)[rows], minlength=store.support_size(name)
+                store.column_block(name, rows), minlength=store.support_size(name)
             )
             total += weight * entropy_from_counts(counts)
     return total

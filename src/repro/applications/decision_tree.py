@@ -158,7 +158,7 @@ class EntropyTreeClassifier:
         depth: int,
     ) -> DecisionNode:
         assert self.label is not None
-        labels = store.column(self.label)[rows]
+        labels = store.column_block(self.label, rows)
         # Label histogram over the node's row subset (a tree split, not
         # a sample prefix) — outside the backend seam.
         counts = np.bincount(  # noqa: SWP009
@@ -181,7 +181,7 @@ class EntropyTreeClassifier:
         node.split = chosen
         node.information_gain = gain
         remaining = [f for f in features if f != chosen]
-        column = store.column(chosen)[rows]
+        column = store.column_block(chosen, rows)
         for value in np.unique(column):
             child_rows = rows[column == value]
             node.children[int(value)] = self._grow(
@@ -213,7 +213,7 @@ class EntropyTreeClassifier:
             out[positions] = node.majority
             return
         assert node.split is not None
-        column = store.column(node.split)[rows]
+        column = store.column_block(node.split, rows)
         routed = np.zeros(rows.size, dtype=bool)
         for value, child in node.children.items():
             mask = column == value
@@ -233,7 +233,7 @@ class EntropyTreeClassifier:
             rows = np.arange(store.num_rows)
         rows = np.asarray(rows)
         predictions = self.predict(store, rows)
-        truth = store.column(self.label)[rows]
+        truth = store.column_block(self.label, rows)
         return float((predictions == truth).mean()) if rows.size else 1.0
 
     def node_count(self) -> int:

@@ -21,6 +21,16 @@ Installed as the ``repro`` console script (also runnable as
   over one shared scan, printing each query's answer plus shared-cost
   accounting. The budget flags apply plan-wide; trace/metrics flags
   capture the whole plan.
+* ``repro store build --dataset cdc --out DIR`` / ``repro store info
+  DIR`` — materialise a dataset as an on-disk memory-mapped column
+  store and inspect its manifest; ``repro query ... --store mmap:DIR``
+  then runs any query or plan out-of-core against it.
+
+``--backend`` choices come from the counting-backend registry
+(:func:`repro.data.backends.backend_names`), so backends registered via
+:func:`repro.data.backends.register_backend` are selectable without CLI
+changes; the ``REPRO_BACKEND`` environment variable is validated against
+the same registry.
 """
 
 from __future__ import annotations
@@ -47,7 +57,9 @@ from repro.core import (
     swope_top_k_entropy,
     swope_top_k_mutual_information,
 )
+from repro.data.backends import backend_names
 from repro.data.describe import describe_store
+from repro.data.mmap_store import MmapStore
 from repro.durability.atomic import atomic_write_text
 from repro.experiments.figures import FIGURES, run_figure, run_table2
 from repro.experiments.latex import figure_latex
@@ -164,9 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
              " a budget limit fires",
     )
     query.add_argument(
-        "--backend", choices=["numpy", "threads"], default=None,
+        "--backend", choices=list(backend_names()), default=None,
         help="counting backend (default: REPRO_BACKEND env var or numpy);"
              " results are bit-identical across backends",
+    )
+    query.add_argument(
+        "--store", default=None, metavar="SPEC",
+        help="out-of-core dataset: 'mmap:DIR' opens the on-disk column"
+             " store built by 'repro store build' instead of"
+             " --dataset/--scale; MI queries then need an explicit"
+             " --target",
     )
     query.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -275,7 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     workloads.add_argument("--scale", type=float, default=1.0)
     workloads.add_argument(
-        "--backend", choices=["numpy", "threads"], default="numpy"
+        "--backend", choices=list(backend_names()), default="numpy"
     )
     workloads.add_argument(
         "--save", default=None, metavar="PATH",
@@ -285,6 +304,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--applications", action="store_true",
         help="also run the applications layer (feature selection + tree)"
              " on every MI-target scenario",
+    )
+
+    store_cmd = sub.add_parser(
+        "store", help="build or inspect on-disk memory-mapped column stores"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    build = store_sub.add_parser(
+        "build", help="materialise a dataset as an on-disk mmap store"
+    )
+    build.add_argument("--dataset", choices=sorted(DATASETS), default="cdc")
+    build.add_argument("--scale", type=float, default=1.0)
+    build.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory for the store (column .npy files + manifest.json)",
+    )
+    build.add_argument(
+        "--chunk-rows", type=int, default=None, metavar="N",
+        help="rows copied per chunk while building (bounds peak memory)",
+    )
+    info = store_sub.add_parser(
+        "info", help="print an mmap store's manifest summary"
+    )
+    info.add_argument("path", metavar="DIR")
+    info.add_argument(
+        "--verify", action="store_true",
+        help="recompute the dataset fingerprint from the column files and"
+             " fail (exit 2) on mismatch",
     )
     return parser
 
@@ -404,6 +450,24 @@ def _print_answer(result, *, phases: bool = False) -> None:
             print(f"  undecided: {', '.join(status.undecided)}")
 
 
+def _resolve_store(args: argparse.Namespace):
+    """The query's column source: an on-disk mmap store, or a synthetic dataset.
+
+    Returns ``(store, dataset)`` where ``dataset`` is ``None`` for
+    ``--store mmap:DIR`` runs (there is no synthetic Dataset wrapper, so
+    MI defaults like ``dataset.mi_targets`` are unavailable).
+    """
+    if args.store is not None:
+        kind, _, path = args.store.partition(":")
+        if kind != "mmap" or not path:
+            raise ParameterError(
+                f"--store must look like 'mmap:DIR', got {args.store!r}"
+            )
+        return MmapStore.open(Path(path)), None
+    dataset = load_dataset(args.dataset, scale=args.scale)
+    return dataset.store, dataset
+
+
 def _resolved_cache_dir(args: argparse.Namespace) -> str | None:
     """``--cache-dir`` with the ``REPRO_CACHE_DIR`` fallback, gated by ``--no-cache``."""
     if args.no_cache:
@@ -431,9 +495,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "query needs a kind (topk-entropy, filter-entropy, topk-mi,"
             " filter-mi) or a --queries plan file"
         )
-    dataset = load_dataset(args.dataset, scale=args.scale)
-    store = dataset.store
-    target = args.target or dataset.mi_targets[0]
+    store, dataset = _resolve_store(args)
+    if dataset is not None:
+        target = args.target or dataset.mi_targets[0]
+    elif args.kind in ("topk-mi", "filter-mi") and args.target is None:
+        raise ParameterError(
+            "--store runs have no dataset default for the MI target; pass"
+            " --target explicitly"
+        )
+    else:
+        target = args.target
     budget = _query_budget(args)
     sink = JsonlSink(args.trace_out) if args.trace_out else None
     registry = (
@@ -497,8 +568,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_query_batch(args: argparse.Namespace) -> int:
     """Execute a ``--queries`` plan file (or resume one) over one shared scan."""
-    dataset = load_dataset(args.dataset, scale=args.scale)
-    store = dataset.store
+    store, _ = _resolve_store(args)
     budget = _query_budget(args)
     sink = JsonlSink(args.trace_out) if args.trace_out else None
     registry = (
@@ -549,10 +619,8 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         if registry is not None and args.metrics_out:
             _write_metrics_file(registry, args.metrics_out)
     stats = outcome.stats
-    print(
-        f"plan: {len(plan)} queries over {args.dataset}"
-        f" (N={store.num_rows:,})"
-    )
+    source = args.store if args.store is not None else args.dataset
+    print(f"plan: {len(plan)} queries over {source} (N={store.num_rows:,})")
     for spec in plan:
         name = spec.name or ""
         print(f"\n[{name}] {spec.describe()}")
@@ -726,6 +794,36 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0 if report.violation_count == 0 else 1
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.store_command == "build":
+        dataset = load_dataset(args.dataset, scale=args.scale)
+        kwargs = {}
+        if args.chunk_rows is not None:
+            kwargs["chunk_rows"] = args.chunk_rows
+        store = MmapStore.from_column_store(
+            dataset.store, Path(args.out), **kwargs
+        )
+        print(
+            f"built {args.out}: {store.num_rows:,} rows x"
+            f" {store.num_attributes} columns"
+            f" ({store.disk_bytes():,} bytes on disk)"
+        )
+        print(f"fingerprint: {store.fingerprint()}")
+        return 0
+    store = MmapStore.open(Path(args.path))
+    print(
+        f"{args.path}: {store.num_rows:,} rows x {store.num_attributes}"
+        f" columns ({store.disk_bytes():,} bytes on disk)"
+    )
+    print(f"fingerprint: {store.fingerprint()}")
+    for name in store.attributes:
+        print(f"  {name:20s} u={store.support_size(name)}")
+    if args.verify:
+        store.verify_fingerprint()
+        print("fingerprint verified: column bytes match the manifest")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -749,6 +847,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_synth_census(args)
         if args.command == "workloads":
             return _cmd_workloads(args)
+        if args.command == "store":
+            return _cmd_store(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -35,7 +35,11 @@ def _codes(store: ColumnStore, attributes: list[str]) -> tuple[np.ndarray, int]:
         total *= store.support_size(name)
     codes = np.zeros(store.num_rows, dtype=np.int64)
     for name in attributes:
-        codes = codes * store.support_size(name) + store.column(name).astype(np.int64)
+        # Exact CMI is a deliberate full scan (no sampled variant exists
+        # for triples); whole-column reads are its substrate.
+        codes = codes * store.support_size(name) + store.column(  # noqa: SWP018
+            name
+        ).astype(np.int64)
     return codes, total
 
 

@@ -45,7 +45,7 @@ from repro.core.engine import (
     validate_failure_probability,
 )
 from repro.core.schedule import SampleSchedule
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.exceptions import ParameterError
 
 __all__ = ["CostEstimate", "CostModel"]
@@ -97,7 +97,7 @@ class CostModel:
     # ------------------------------------------------------------------
     def estimate(
         self,
-        store: ColumnStore,
+        store: ColumnSource,
         *,
         kind: str,
         score: str,
@@ -223,7 +223,7 @@ class CostModel:
     @classmethod
     def fit_from_trace(
         cls,
-        store: ColumnStore,
+        store: ColumnSource,
         events: Iterable[Mapping[str, object]],
         *,
         failure_probability: float | None = None,

@@ -25,7 +25,7 @@ from repro.core.plan import QuerySpec, run_query_spec
 from repro.core.results import FilterResult
 from repro.core.schedule import SampleSchedule
 from repro.data.backends import CountingBackend
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
 
@@ -36,7 +36,7 @@ __all__ = ["swope_filter_entropy"]
 
 
 def swope_filter_entropy(
-    store: ColumnStore,
+    store: ColumnSource,
     threshold: float,
     *,
     epsilon: float = 0.05,

@@ -19,7 +19,7 @@ from repro.core.plan import QuerySpec, run_query_spec
 from repro.core.results import FilterResult
 from repro.core.schedule import SampleSchedule
 from repro.data.backends import CountingBackend
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
 
@@ -30,7 +30,7 @@ __all__ = ["swope_filter_mutual_information"]
 
 
 def swope_filter_mutual_information(
-    store: ColumnStore,
+    store: ColumnSource,
     target: str,
     threshold: float,
     *,

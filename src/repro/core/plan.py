@@ -77,7 +77,7 @@ from repro.core.engine import (
 from repro.core.results import FilterResult, TopKResult
 from repro.core.schedule import SampleSchedule, initial_sample_size
 from repro.data.backends import CountingBackend
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import (
     CheckpointError,
@@ -440,7 +440,7 @@ class QueryPlan:
         return iter(self.specs)
 
 
-def _resolved_candidates(store: ColumnStore, spec: QuerySpec) -> list[str]:
+def _resolved_candidates(store: ColumnSource, spec: QuerySpec) -> list[str]:
     """Resolve a spec's candidate list against ``store``.
 
     Raises exactly the legacy entry-point errors (same types, same
@@ -483,7 +483,7 @@ def _resolved_candidates(store: ColumnStore, spec: QuerySpec) -> list[str]:
 
 
 def plan_queries(
-    store: ColumnStore,
+    store: ColumnSource,
     specs: Sequence[QuerySpec],
     *,
     order: str = "cost",
@@ -691,7 +691,7 @@ class _RecordingProvider:
 
 def _cache_partition(
     cache: "PlanCache | CachePartition | None",
-    store: ColumnStore,
+    store: ColumnSource,
     sampler: PrefixSampler,
 ) -> "tuple[CachePartition | None, PlanCache | None]":
     """Resolve a cache argument to the partition matching this run.
@@ -723,7 +723,7 @@ def _cache_partition(
 
 
 def run_query_spec(
-    store: ColumnStore,
+    store: ColumnSource,
     spec: QuerySpec,
     *,
     failure_probability: float | None = None,
@@ -1078,7 +1078,7 @@ class PlanExecutor:
 
     def __init__(
         self,
-        store: ColumnStore,
+        store: ColumnSource,
         *,
         seed: int | np.random.Generator | None = None,
         sequential: bool = False,
@@ -1124,7 +1124,7 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------
     @property
-    def store(self) -> ColumnStore:
+    def store(self) -> ColumnSource:
         """The wrapped dataset."""
         return self._store
 
@@ -1778,7 +1778,7 @@ class PlanExecutor:
     def resume(
         cls,
         path: str | Path,
-        store: ColumnStore,
+        store: ColumnSource,
         *,
         backend: str | CountingBackend | None = None,
         trace: TraceSink | None = None,

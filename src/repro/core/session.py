@@ -56,7 +56,7 @@ from repro.core.plan import (
 )
 from repro.core.results import FilterResult, TopKResult
 from repro.data.backends import CountingBackend
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import TraceSink
 
@@ -112,7 +112,7 @@ class QuerySession:
 
     def __init__(
         self,
-        store: ColumnStore,
+        store: ColumnSource,
         *,
         seed: int | np.random.Generator | None = None,
         sequential: bool = False,
@@ -140,7 +140,7 @@ class QuerySession:
 
     # ------------------------------------------------------------------
     @property
-    def store(self) -> ColumnStore:
+    def store(self) -> ColumnSource:
         """The wrapped dataset."""
         return self._store
 

@@ -28,7 +28,7 @@ from repro.core.plan import QuerySpec, run_query_spec
 from repro.core.results import TopKResult
 from repro.core.schedule import SampleSchedule
 from repro.data.backends import CountingBackend
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.data.sampling import PrefixSampler
 from repro.obs.metrics import MetricsRegistry
 
@@ -39,7 +39,7 @@ __all__ = ["swope_top_k_entropy"]
 
 
 def swope_top_k_entropy(
-    store: ColumnStore,
+    store: ColumnSource,
     k: int,
     *,
     epsilon: float = 0.1,

@@ -1,22 +1,29 @@
 """Data substrate: columnar storage, encoding, IO, and prefix sampling.
 
 This subpackage is everything below the algorithms: how a dataset is held
-in memory (:class:`~repro.data.column_store.ColumnStore`), how raw values
+in memory (:class:`~repro.data.column_store.ColumnStore`) or streamed
+from disk (:class:`~repro.data.mmap_store.MmapStore`) behind the common
+:class:`~repro.data.column_store.ColumnSource` protocol, how raw values
 become dense codes (:mod:`repro.data.encoding`), how files are read and
 cached (:mod:`repro.data.csv_io`), the paper's column pre-filters
-(:mod:`repro.data.filters`), and the sampling-without-replacement substrate
+(:mod:`repro.data.filters`), the sampling-without-replacement substrate
 with incremental marginal/joint counters (:mod:`repro.data.sampling`,
-:mod:`repro.data.joint`).
+:mod:`repro.data.joint`), and the pluggable counting backends
+(:mod:`repro.data.backends`).
 """
 
 from repro.data.backends import (
     BACKEND_NAMES,
     CountingBackend,
+    GILBoundBackendWarning,
     NumpyBackend,
+    ProcessBackend,
     ThreadedBackend,
+    backend_names,
+    register_backend,
     resolve_backend,
 )
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource, ColumnStore
 from repro.data.csv_io import load_csv, load_npz, save_npz
 from repro.data.describe import AttributeProfile, describe_store, profile_attribute
 from repro.data.encoding import CategoricalEncoder, encode_column, encode_table
@@ -26,21 +33,28 @@ from repro.data.filters import (
     drop_high_support_columns,
 )
 from repro.data.joint import JointCounter
+from repro.data.mmap_store import MmapStore, MmapStoreWriter
 from repro.data.sampling import PrefixSampler
 from repro.data.streaming import StreamingCounts, stream_csv_counts
 
 __all__ = [
     "AttributeProfile",
     "BACKEND_NAMES",
+    "ColumnSource",
     "ColumnStore",
     "CategoricalEncoder",
     "CountingBackend",
+    "GILBoundBackendWarning",
     "JointCounter",
+    "MmapStore",
+    "MmapStoreWriter",
     "NumpyBackend",
     "PrefixSampler",
+    "ProcessBackend",
     "PAPER_MAX_SUPPORT",
     "StreamingCounts",
     "ThreadedBackend",
+    "backend_names",
     "describe_store",
     "drop_constant_columns",
     "drop_high_support_columns",
@@ -49,6 +63,7 @@ __all__ = [
     "load_csv",
     "load_npz",
     "profile_attribute",
+    "register_backend",
     "resolve_backend",
     "save_npz",
     "stream_csv_counts",

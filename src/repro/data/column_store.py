@@ -15,13 +15,15 @@ column under a live sampler would silently corrupt incremental counters.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping, Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.exceptions import SchemaError
 
-__all__ = ["ColumnStore"]
+__all__ = ["ColumnSource", "ColumnStore"]
 
 #: Integer dtypes accepted for encoded columns.
 _INTEGER_KINDS = ("i", "u")
@@ -34,6 +36,80 @@ def _pick_dtype(support_size: int) -> np.dtype:
     if support_size <= np.iinfo(np.int32).max:
         return np.dtype(np.int32)
     return np.dtype(np.int64)
+
+
+@runtime_checkable
+class ColumnSource(Protocol):
+    """Read-side protocol every storage engine implements.
+
+    The sampling substrate (and everything above it) touches a dataset
+    through exactly this surface: shape metadata, support sizes, column
+    *handles* for the counting backends, and permutation-prefix block
+    reads. Two implementations ship with the package:
+
+    * :class:`ColumnStore` — every column fully resident in memory;
+    * :class:`~repro.data.mmap_store.MmapStore` — ``.npy``-backed
+      memory-mapped columns, so ``N ≫ RAM`` datasets stream through the
+      engine with only the touched pages resident.
+
+    :meth:`column` returns an *array-like handle* — for a memory-mapped
+    store it is a :class:`numpy.memmap`, and materialising it in full
+    defeats the storage engine. Code outside :mod:`repro.data` and
+    :mod:`repro.baselines` must read through :meth:`column_block`
+    (enforced by analysis rule SWP018); the counting backends index the
+    handle with a block selector, which touches only the selected pages.
+    """
+
+    @property
+    def num_rows(self) -> int:
+        """Number of records ``N`` in the dataset."""
+        ...
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of attributes ``h`` in the dataset."""
+        ...
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        ...
+
+    def __contains__(self, name: object) -> bool: ...
+
+    def column(self, name: str) -> np.ndarray:
+        """Read-only array-like handle of the encoded column (may be mmap)."""
+        ...
+
+    def column_block(self, name: str, rows: np.ndarray | slice) -> np.ndarray:
+        """Materialised block ``column(name)[rows]`` — the hot-path read API."""
+        ...
+
+    def support_size(self, name: str) -> int:
+        """``u_alpha``, the declared number of distinct values of ``name``."""
+        ...
+
+    def support_sizes(self) -> dict[str, int]:
+        """Fresh ``{attribute: u_alpha}`` mapping for all attributes."""
+        ...
+
+    def max_support_size(self) -> int:
+        """``u_max``, the largest support size over all attributes."""
+        ...
+
+    def value_counts(self, name: str, num_rows: int | None = None) -> np.ndarray:
+        """Exact occurrence counts of ``name`` over the (prefix of the) data."""
+        ...
+
+    def fingerprint(self) -> str:
+        """sha256 identity over rows, names, supports, and column bytes.
+
+        Two sources with equal fingerprints produce identical counters
+        for every prefix — the property checkpoints and plan caches key
+        on. In-memory and mmap stores of the same encoded data return
+        the *same* value.
+        """
+        ...
 
 
 class ColumnStore:
@@ -177,6 +253,17 @@ class ColumnStore:
         except KeyError:
             raise SchemaError(f"unknown attribute {name!r}") from None
 
+    def column_block(self, name: str, rows: np.ndarray | slice) -> np.ndarray:
+        """Return the encoded values of ``name`` at ``rows`` (gather or slice).
+
+        The block-read form of :meth:`column`: the one access pattern
+        the adaptive algorithms need (permutation-prefix blocks and row
+        subsets), and the only one that stays cheap on every storage
+        engine. Code outside :mod:`repro.data` / :mod:`repro.baselines`
+        must use this instead of materialising whole columns (SWP018).
+        """
+        return self.column(name)[rows]
+
     def support_size(self, name: str) -> int:
         """Return ``u_alpha``, the number of distinct values of ``name``."""
         try:
@@ -282,3 +369,30 @@ class ColumnStore:
     def memory_bytes(self) -> int:
         """Return the total bytes held by the encoded column arrays."""
         return sum(col.nbytes for col in self._columns.values())
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """sha256 identity: rows, names, supports, and raw column bytes.
+
+        The dataset identity checkpoints and plan caches key on (see
+        :func:`repro.durability.checkpoint.store_fingerprint`, which
+        delegates here). The byte layout is pinned by golden census
+        manifests: ``rows:{N}\\n`` then, per attribute in schema order,
+        ``col:{name}:{support}:{dtype.str}\\n`` followed by the raw
+        little-endian column bytes. :class:`~repro.data.mmap_store.MmapStore`
+        computes the identical value over its on-disk columns, so the
+        two engines interoperate under one fingerprint.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"rows:{self._num_rows}\n".encode("utf-8"))
+        for name in self.attributes:
+            column = np.ascontiguousarray(self.column(name))
+            digest.update(
+                f"col:{name}:{self.support_size(name)}:{column.dtype.str}\n".encode(
+                    "utf-8"
+                )
+            )
+            digest.update(column.tobytes())
+        return digest.hexdigest()

@@ -35,7 +35,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.data.backends import CountingBackend, resolve_backend
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.data.joint import JointCounter
 from repro.exceptions import ParameterError, SchemaError
 
@@ -73,7 +73,8 @@ def _as_generator(seed: int | np.random.Generator | None) -> np.random.Generator
 
 
 class PrefixSampler:
-    """Shuffled prefix view of a :class:`ColumnStore` with incremental counts.
+    """Shuffled prefix view of a :class:`~repro.data.column_store.ColumnSource`
+    with incremental counts.
 
     Parameters
     ----------
@@ -106,7 +107,7 @@ class PrefixSampler:
 
     def __init__(
         self,
-        store: ColumnStore,
+        store: ColumnSource,
         seed: int | np.random.Generator | None = None,
         *,
         sequential: bool = False,
@@ -140,7 +141,7 @@ class PrefixSampler:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def store(self) -> ColumnStore:
+    def store(self) -> ColumnSource:
         """The underlying dataset."""
         return self._store
 
@@ -247,7 +248,7 @@ class PrefixSampler:
     @classmethod
     def from_state(
         cls,
-        store: ColumnStore,
+        store: ColumnSource,
         state: dict[str, object],
         *,
         retain: bool = True,

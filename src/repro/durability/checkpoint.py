@@ -52,7 +52,7 @@ from repro.core.results import (
     RunStats,
     TopKResult,
 )
-from repro.data.column_store import ColumnStore
+from repro.data.column_store import ColumnSource
 from repro.durability.atomic import atomic_write_text
 from repro.exceptions import CheckpointError, CheckpointMismatchError
 
@@ -91,7 +91,7 @@ _PAYLOAD_KEYS = ("dataset", "executor", "sampler", "specs", "progress")
 # ----------------------------------------------------------------------
 # Dataset fingerprint
 # ----------------------------------------------------------------------
-def store_fingerprint(store: ColumnStore) -> str:
+def store_fingerprint(store: ColumnSource) -> str:
     """sha256 identity of a dataset: rows, names, supports, column bytes.
 
     Two stores with the same fingerprint produce identical counters for
@@ -99,18 +99,15 @@ def store_fingerprint(store: ColumnStore) -> str:
     fingerprint deliberately covers the *encoded* columns — re-encoding
     the same raw data differently changes every counter, so it must
     change the fingerprint too.
+
+    Delegates to :meth:`~repro.data.column_store.ColumnSource.fingerprint`,
+    so every storage engine hashes itself the way that suits it — the
+    in-memory store over its resident arrays, the mmap store by
+    returning its manifest's build-time value — while all engines agree
+    byte-for-byte on the same encoded data. A checkpoint written against
+    one engine therefore verifies against the other.
     """
-    digest = hashlib.sha256()
-    digest.update(f"rows:{store.num_rows}\n".encode("utf-8"))
-    for name in store.attributes:
-        column = np.ascontiguousarray(store.column(name))
-        digest.update(
-            f"col:{name}:{store.support_size(name)}:{column.dtype.str}\n".encode(
-                "utf-8"
-            )
-        )
-        digest.update(column.tobytes())
-    return digest.hexdigest()
+    return store.fingerprint()
 
 
 # ----------------------------------------------------------------------
@@ -444,7 +441,7 @@ class PlanCheckpoint:
     progress: dict[str, Any]
     schema_version: int = CHECKPOINT_SCHEMA_VERSION
 
-    def verify_store(self, store: ColumnStore) -> None:
+    def verify_store(self, store: ColumnSource) -> None:
         """Refuse this checkpoint against a dataset it does not describe."""
         num_rows = self.dataset.get("num_rows")
         if num_rows != store.num_rows:
@@ -511,7 +508,7 @@ def save_checkpoint(checkpoint: PlanCheckpoint, path: Union[str, Path]) -> int:
 
 
 def load_checkpoint(
-    path: Union[str, Path], *, store: ColumnStore | None = None
+    path: Union[str, Path], *, store: ColumnSource | None = None
 ) -> PlanCheckpoint:
     """Load and verify a checkpoint written by :func:`save_checkpoint`.
 

@@ -277,7 +277,13 @@ class FlakyStore:
             raise OSError(self._message)
         if self._latency_s > 0.0:
             self._sleep(self._latency_s)
-        return self._store.column(name)
+        # Fault-injection wrapper: this *is* the read it instruments.
+        return self._store.column(name)  # noqa: SWP018
+
+    def column_block(self, name: str, rows):
+        # Routed through self.column() so block reads share the same
+        # failure/latency injection as whole-handle reads.
+        return self.column(name)[rows]  # noqa: SWP018
 
     # -- transparent delegation ----------------------------------------
     @property

@@ -46,8 +46,8 @@ def check(path: str, text: str, **kwargs):
 # Registry
 # ----------------------------------------------------------------------
 class TestRegistry:
-    def test_all_seventeen_rules_registered(self):
-        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 18)]
+    def test_all_eighteen_rules_registered(self):
+        assert all_codes() == [f"SWP{i:03d}" for i in range(1, 19)]
 
     def test_project_rules_are_marked(self):
         project_codes = {c for c, r in RULES.items() if r.project}
@@ -559,6 +559,48 @@ class TestSWP017:
         report = check(CORE, text)
         assert codes(report) == []
         assert [v.rule for v in report.suppressed] == ["SWP017"]
+
+
+# ----------------------------------------------------------------------
+# SWP018 — no whole-column materialisation outside the storage layer
+# ----------------------------------------------------------------------
+class TestSWP018:
+    def test_whole_column_read_fires_in_core(self):
+        text = "def f(store, name):\n    return store.column(name)\n"
+        assert codes(check(CORE, text)) == ["SWP018"]
+
+    def test_chained_attribute_read_fires(self):
+        text = "def f(self, name):\n    return self._store.column(name)\n"
+        assert codes(check(CORE, text)) == ["SWP018"]
+
+    def test_column_block_is_clean(self):
+        text = (
+            "def f(store, name, rows):\n"
+            "    return store.column_block(name, rows)\n"
+        )
+        assert codes(check(CORE, text)) == []
+
+    def test_data_package_is_exempt(self):
+        text = "def f(store, name):\n    return store.column(name)\n"
+        assert codes(check("src/repro/data/example.py", text)) == []
+
+    def test_baselines_package_is_exempt(self):
+        text = "def f(store, name):\n    return store.column(name)\n"
+        assert codes(check(BASELINES, text)) == []
+
+    def test_tests_out_of_scope(self):
+        text = "def f(store, name):\n    return store.column(name)\n"
+        assert codes(check("tests/example.py", text)) == []
+
+    def test_noqa_with_justification_suppresses(self):
+        text = (
+            "def f(store, name):\n"
+            "    # deliberate full scan: exact baseline comparison\n"
+            "    return store.column(name)  # noqa: SWP018\n"
+        )
+        report = check(CORE, text)
+        assert codes(report) == []
+        assert [v.rule for v in report.suppressed] == ["SWP018"]
 
 
 # ----------------------------------------------------------------------

@@ -31,14 +31,20 @@ from repro.core.engine import (
     EntropyScoreProvider,
     MutualInformationScoreProvider,
 )
+import repro.data.backends as backends_module
 from repro.data.backends import (
     BACKEND_ENV_VAR,
     BACKEND_NAMES,
+    GILBoundBackendWarning,
     NumpyBackend,
+    ProcessBackend,
     ThreadedBackend,
+    backend_names,
+    register_backend,
     resolve_backend,
 )
 from repro.data.column_store import ColumnStore
+from repro.data.mmap_store import MmapStore
 from repro.data.sampling import PrefixSampler
 from repro.exceptions import ParameterError, SchemaError
 
@@ -63,6 +69,7 @@ class TestResolveBackend:
     def test_names_map_to_backends(self):
         assert isinstance(resolve_backend("numpy"), NumpyBackend)
         assert isinstance(resolve_backend("threads"), ThreadedBackend)
+        assert isinstance(resolve_backend("process"), ProcessBackend)
 
     def test_none_defaults_to_numpy(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
@@ -94,9 +101,70 @@ class TestResolveBackend:
             ThreadedBackend(max_workers=0)
 
     def test_backend_names_are_stable(self):
-        assert BACKEND_NAMES == ("numpy", "threads")
+        assert BACKEND_NAMES == ("numpy", "threads", "process")
         assert NumpyBackend().name == "numpy"
         assert ThreadedBackend().name == "threads"
+        assert ProcessBackend().name == "process"
+
+    def test_process_worker_count_validated(self):
+        with pytest.raises(ParameterError, match="max_workers"):
+            ProcessBackend(max_workers=0)
+
+    def test_threads_resolution_warns_once(self, monkeypatch):
+        monkeypatch.setattr(backends_module, "_THREADS_WARNING_EMITTED", False)
+        with pytest.warns(GILBoundBackendWarning, match="GIL"):
+            resolve_backend("threads")
+        # Second resolution in the same process stays silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", GILBoundBackendWarning)
+            resolve_backend("threads")
+
+    def test_numpy_and_process_do_not_warn(self, monkeypatch):
+        monkeypatch.setattr(backends_module, "_THREADS_WARNING_EMITTED", False)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", GILBoundBackendWarning)
+            resolve_backend("numpy")
+            resolve_backend("process")
+
+
+class TestBackendRegistry:
+    def test_backend_names_reflects_registry(self):
+        assert backend_names() == ("numpy", "threads", "process")
+
+    def test_register_custom_backend(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_module, "BACKEND_REGISTRY", dict(backends_module.BACKEND_REGISTRY)
+        )
+        register_backend("custom", NumpyBackend)
+        assert "custom" in backend_names()
+        assert isinstance(resolve_backend("custom"), NumpyBackend)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+
+    def test_replace_allows_override(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_module, "BACKEND_REGISTRY", dict(backends_module.BACKEND_REGISTRY)
+        )
+        register_backend("numpy", ThreadedBackend, replace=True)
+        assert isinstance(resolve_backend("numpy"), ThreadedBackend)
+
+    def test_env_var_accepts_registered_backend(self, monkeypatch):
+        monkeypatch.setattr(
+            backends_module, "BACKEND_REGISTRY", dict(backends_module.BACKEND_REGISTRY)
+        )
+        register_backend("custom", NumpyBackend)
+        monkeypatch.setenv(BACKEND_ENV_VAR, "custom")
+        assert isinstance(resolve_backend(None), NumpyBackend)
+
+    def test_unknown_error_lists_registered_names(self):
+        with pytest.raises(ParameterError, match="process"):
+            resolve_backend("cuda")
 
 
 # ----------------------------------------------------------------------
@@ -131,6 +199,65 @@ class TestCountColumns:
         out = backend.count_columns([column], [4], slice(0, 50))
         np.testing.assert_array_equal(out[0], np.bincount(column, minlength=4))
         assert backend._executor is None  # pool never created
+
+
+class TestProcessBackend:
+    @pytest.mark.parametrize("rows_kind", ["array", "slice"])
+    def test_serial_and_pool_paths_agree_with_bincount(self, rows_kind):
+        rng = np.random.default_rng(21)
+        supports = [3, 9, 17]
+        columns = [rng.integers(0, u, size=2000) for u in supports]
+        if rows_kind == "array":
+            rows = rng.permutation(2000)[:900]
+        else:
+            rows = slice(0, 900)
+        expected = [
+            np.bincount(c[rows], minlength=u) for c, u in zip(columns, supports)
+        ]
+        serial = ProcessBackend(max_workers=1)
+        pooled = ProcessBackend(max_workers=2, min_parallel_cells=0)
+        try:
+            for backend in (serial, pooled):
+                got = backend.count_columns(columns, supports, rows)
+                assert len(got) == len(expected)
+                for g, e in zip(got, expected):
+                    np.testing.assert_array_equal(g, e)
+        finally:
+            serial.close()
+            pooled.close()
+
+    def test_small_batches_bypass_the_pool(self):
+        backend = ProcessBackend(max_workers=2)  # default cell threshold
+        try:
+            rng = np.random.default_rng(2)
+            column = rng.integers(0, 5, size=64)
+            out = backend.count_columns([column], [5], slice(0, 64))
+            np.testing.assert_array_equal(
+                out[0], np.bincount(column, minlength=5)
+            )
+            assert backend._executor is None  # pool never created
+        finally:
+            backend.close()
+
+    def test_memmap_columns_count_through_the_pool(self, tmp_path):
+        store = random_store(31, num_rows=1200, num_columns=4)
+        on_disk = MmapStore.from_column_store(store, tmp_path / "store")
+        names = list(store.attributes)
+        supports = [store.support_size(a) for a in names]
+        rows = np.random.default_rng(31).permutation(1200)[:700]
+        expected = [
+            np.bincount(store.column(a)[rows], minlength=u)
+            for a, u in zip(names, supports)
+        ]
+        backend = ProcessBackend(max_workers=2, min_parallel_cells=0)
+        try:
+            got = backend.count_columns(
+                [on_disk.column(a) for a in names], supports, rows
+            )
+            for g, e in zip(got, expected):
+                np.testing.assert_array_equal(g, e)
+        finally:
+            backend.close()
 
 
 # ----------------------------------------------------------------------
@@ -331,6 +458,56 @@ class TestBackendEquivalence:
                 pairs = [(n_est[a], t_est[a]) for a in n_est]
             else:
                 pairs = list(zip(n_est, t_est))
+            for left, right in pairs:
+                assert left == right
+
+    @pytest.mark.parametrize("store_kind", ["memory", "mmap"])
+    def test_four_queries_identical_process_vs_numpy(
+        self, store_kind, tmp_path
+    ):
+        base = random_store(13, num_rows=800, num_columns=6)
+        store = (
+            base
+            if store_kind == "memory"
+            else MmapStore.from_column_store(base, tmp_path / "store")
+        )
+        target = base.attributes[0]
+
+        def run_all(source, backend):
+            topk = swope_top_k_entropy(
+                source, 3, seed=13, epsilon=0.3, backend=backend
+            )
+            filt = swope_filter_entropy(
+                source, 1.5, seed=13, epsilon=0.2, backend=backend
+            )
+            mi_topk = swope_top_k_mutual_information(
+                source, target, 2, seed=13, epsilon=0.6, backend=backend
+            )
+            mi_filt = swope_filter_mutual_information(
+                source, target, 0.05, seed=13, epsilon=0.6, backend=backend
+            )
+            return topk, filt, mi_topk, mi_filt
+
+        # The reference runs on the in-memory store under numpy, so the
+        # matrix also pins mmap answers to the in-memory ones.
+        reference = run_all(base, "numpy")
+        process = ProcessBackend(max_workers=2, min_parallel_cells=0)
+        try:
+            candidate = run_all(store, process)
+        finally:
+            process.close()
+        for via_numpy, via_process in zip(reference, candidate):
+            assert via_numpy.attributes == via_process.attributes
+            assert (
+                via_numpy.stats.cells_scanned
+                == via_process.stats.cells_scanned
+            )
+            n_est, p_est = via_numpy.estimates, via_process.estimates
+            if isinstance(n_est, dict):
+                assert set(n_est) == set(p_est)
+                pairs = [(n_est[a], p_est[a]) for a in n_est]
+            else:
+                pairs = list(zip(n_est, p_est))
             for left, right in pairs:
                 assert left == right
 
